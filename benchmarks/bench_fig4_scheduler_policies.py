@@ -1,0 +1,60 @@
+"""E3 — Figure 4: scheduler simulations using the GPU timing simulator.
+
+Regenerates the paper's central result: redundant-execution GPU cycles of
+the eleven Rodinia benchmarks under the default, HALF and SRRS policies,
+normalized to the default scheduler ("Redundant Kernel Simulation Cycles
+(GPGPU-Sim normalized)").
+
+Paper shape: HALF negligible for most benchmarks (worst friendly case
+~1.1x at lud), SRRS up to ~2x (myocyte); backprop/bfs are the exceptions
+where HALF hurts and SRRS is free.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig4_scheduler_comparison
+from repro.analysis.report import render_grouped_bars, render_table
+from repro.redundancy.manager import RedundantKernelManager
+from repro.workloads.rodinia import FIG4_BENCHMARKS, get_benchmark
+
+
+def test_fig4_table(benchmark, gpu):
+    """Time one policy simulation and print the full Figure 4 table."""
+    hotspot = get_benchmark("hotspot")
+
+    def run_one_policy():
+        return RedundantKernelManager(gpu, "srrs").run(list(hotspot.kernels))
+
+    benchmark.pedantic(run_one_policy, rounds=3, iterations=1)
+
+    rows = fig4_scheduler_comparison(gpu)
+    table = render_table(
+        ["benchmark", "default(cycles)", "HALF(norm)", "SRRS(norm)",
+         "HALF diverse", "SRRS diverse"],
+        [
+            [r.benchmark, r.default_cycles, r.half_ratio, r.srrs_ratio,
+             r.half_diverse, r.srrs_diverse]
+            for r in rows
+        ],
+        title="Figure 4 — Redundant Kernel Simulation Cycles (normalized)",
+    )
+    print("\n" + table)
+    print(
+        "\n"
+        + render_grouped_bars(
+            [r.benchmark for r in rows],
+            {
+                "default": [1.0] * len(rows),
+                "HALF": [r.half_ratio for r in rows],
+                "SRRS": [r.srrs_ratio for r in rows],
+            },
+            title="Figure 4 (bars, normalized to default)",
+        )
+    )
+
+    # shape assertions (mirroring tests/test_integration.py)
+    by_name = {r.benchmark: r for r in rows}
+    assert set(by_name) == set(FIG4_BENCHMARKS)
+    assert max(r.srrs_ratio for r in rows) <= 2.0
+    assert by_name["myocyte"].srrs_ratio > 1.9
+    assert all(r.half_diverse and r.srrs_diverse for r in rows)

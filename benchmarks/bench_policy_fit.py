@@ -1,0 +1,41 @@
+"""E6 — Section IV-D: appropriateness of the scheduling policies.
+
+Measures each policy's overhead per kernel category and checks the
+paper's recommendation matrix: SRRS for short and heavy kernels, HALF for
+friendly kernels (decided per kernel during the analysis phase and
+selected at operation time).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import policy_fit_matrix
+from repro.analysis.report import render_table
+from repro.redundancy.manager import RedundantKernelManager
+from repro.workloads.synthetic import make_short_kernel
+
+
+def test_policy_fit_matrix(benchmark, gpu):
+    """Time one redundant run and print the policy-fit matrix."""
+    short = make_short_kernel(gpu)
+
+    benchmark(lambda: RedundantKernelManager(gpu, "half").run([short]))
+
+    rows = policy_fit_matrix(gpu)
+    print(
+        "\n"
+        + render_table(
+            ["kernel", "category", "HALF(norm)", "SRRS(norm)", "best"],
+            [[r.kernel, r.category, r.half_ratio, r.srrs_ratio,
+              r.best_policy] for r in rows],
+            title="E6 — Policy fit per kernel category (Section IV-D)",
+        )
+    )
+
+    for row in rows:
+        if row.category == "short":
+            # HALF doubles short-wide kernels; SRRS is free
+            assert row.srrs_ratio < row.half_ratio
+        if "narrow" in row.kernel:
+            # the myocyte-like case: serialization doubles time
+            assert row.srrs_ratio > 1.8
+            assert row.half_ratio < 1.05

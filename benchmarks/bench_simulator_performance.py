@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Not a paper artifact — these track the cost of the discrete-event engine
+and the fault campaign so regressions in the reproduction's own
+performance are visible (useful when extending the models).
+"""
+
+from __future__ import annotations
+
+from repro.faults.campaign import CampaignConfig, FaultCampaign
+from repro.gpu.kernel import KernelDescriptor, KernelLaunch
+from repro.gpu.scheduler import DefaultScheduler
+from repro.gpu.simulator import GPUSimulator
+from repro.redundancy.manager import RedundantKernelManager
+
+
+def test_simulator_throughput_large_grid(benchmark, gpu):
+    """Simulate a 480-block kernel (thousands of events)."""
+    kernel = KernelDescriptor(
+        name="perf/large", grid_blocks=480, threads_per_block=128,
+        work_per_block=700.0, bytes_per_block=900.0,
+    )
+
+    def run():
+        sim = GPUSimulator(gpu, DefaultScheduler()).run(
+            [KernelLaunch(kernel=kernel, instance_id=0)]
+        )
+        return len(sim.trace.tb_records)
+
+    completed = benchmark(run)
+    assert completed == 480  # every block completed exactly once
+
+
+def test_redundant_manager_throughput(benchmark, gpu):
+    """Full redundant pipeline on a 10-kernel chain."""
+    kernel = KernelDescriptor(
+        name="perf/chain", grid_blocks=24, threads_per_block=128,
+        work_per_block=1500.0,
+    )
+    chain = [kernel] * 10
+
+    run = benchmark(lambda: RedundantKernelManager(gpu, "half").run(chain))
+    assert run.all_clean
+
+
+def test_campaign_throughput(benchmark, gpu):
+    """1000-injection campaign against one trace."""
+    kernel = KernelDescriptor(
+        name="perf/campaign", grid_blocks=36, threads_per_block=128,
+        work_per_block=2500.0,
+    )
+    base = RedundantKernelManager(gpu, "srrs").run([kernel] * 3)
+    config = CampaignConfig(transient_ccf=600, permanent_sm=200, seu=200,
+                            seed=1)
+
+    report = benchmark(lambda: FaultCampaign(base).run(config))
+    assert report.total == 1000

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: diverse-redundant GPU execution in twenty lines.
+
+Launches one kernel redundantly under each scheduling policy on the
+paper's 6-SM GPU, and prints what each policy buys you: the default
+scheduler is fastest but leaves redundant copies sharing SMs and time
+slots (common-cause-fault exposure); SRRS and HALF guarantee diversity.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import GPUConfig, KernelDescriptor, RedundantKernelManager
+
+def main() -> None:
+    gpu = GPUConfig.gpgpusim_like()          # 6 SMs, as in the paper
+    kernel = KernelDescriptor(
+        name="adas/object-detect",
+        grid_blocks=36,                      # 6 blocks per SM
+        threads_per_block=256,
+        work_per_block=4000.0,               # abstract compute cycles
+        bytes_per_block=3000.0,              # DRAM traffic per block
+    )
+
+    print(f"GPU: {gpu.name} ({gpu.num_sms} SMs)")
+    print(f"kernel: {kernel.name}, {kernel.grid_blocks} thread blocks\n")
+
+    for policy in ("default", "half", "srrs"):
+        manager = RedundantKernelManager(gpu, policy)
+        run = manager.run([kernel])
+        d = run.diversity
+        print(
+            f"{policy:8s} busy={run.sim.trace.busy_cycles:9.0f} cycles  "
+            f"outputs-agree={run.all_clean}  "
+            f"same-SM pairs={d.same_sm_pairs:2d}/{d.total_pairs}  "
+            f"overlapping={d.overlapping_pairs:2d}  "
+            f"DIVERSE={d.fully_diverse}"
+        )
+
+    print(
+        "\nThe default scheduler is unconstrained: redundant copies may "
+        "execute the same block on the same SM at the same time, so a "
+        "single common-cause fault (e.g. a voltage droop) can corrupt "
+        "both copies identically and escape the DCLS comparison.\n"
+        "SRRS serializes the copies with rotated SM assignment; HALF "
+        "splits the SMs between them — either way, every redundant pair "
+        "runs on different SMs at different phases, as ISO 26262 ASIL-D "
+        "demands."
+    )
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""repro — reproduction of "High-Integrity GPU Designs for Critical
+Real-Time Automotive Systems" (Alcaide et al., DATE 2019).
+
+The paper proposes lightweight GPU kernel-scheduler policies (SRRS and
+HALF) that guarantee *diverse redundancy* — every redundant thread-block
+pair executes on different SMs and/or at different times — so that COTS
+GPUs can meet ISO 26262 ASIL-D requirements without heterogeneous
+replication.
+
+Top-level packages:
+
+* :mod:`repro.gpu` — GPU model, discrete-event timing simulator, kernel
+  schedulers (default / SRRS / HALF), COTS end-to-end model;
+* :mod:`repro.redundancy` — redundant execution manager, output
+  comparison, diversity metrics, DMR/TMR;
+* :mod:`repro.iso26262` — ASILs, decomposition, FTTI, hardware metrics;
+* :mod:`repro.faults` — fault injection (transient CCFs, permanent SM
+  defects, SEUs, scheduler faults) and campaigns;
+* :mod:`repro.workloads` — Rodinia-shaped benchmark suite, synthetic
+  kernels, the Figure 3 classifier;
+* :mod:`repro.host` — DCLS lockstep CPU, CUDA-like API, the five-step
+  offload protocol;
+* :mod:`repro.analysis` — experiment runners regenerating every paper
+  figure, and report rendering.
+
+Quickstart::
+
+    from repro import GPUConfig, KernelDescriptor, RedundantKernelManager
+
+    gpu = GPUConfig.gpgpusim_like()
+    kernel = KernelDescriptor(name="adas/detect", grid_blocks=36,
+                              threads_per_block=256, work_per_block=4000.0)
+    run = RedundantKernelManager(gpu, policy="srrs").run([kernel])
+    assert run.all_clean and run.diversity.fully_diverse
+"""
+
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    FaultInjectionError,
+    RedundancyError,
+    ReproError,
+    SafetyViolation,
+    SchedulingError,
+    SimulationError,
+)
+from repro.gpu import (
+    ExecutionTrace,
+    GPUConfig,
+    GPUSimulator,
+    KernelDescriptor,
+    KernelLaunch,
+    SimulationResult,
+    SMConfig,
+    simulate,
+)
+from repro.gpu.scheduler import (
+    DefaultScheduler,
+    HALFScheduler,
+    KernelScheduler,
+    SRRSScheduler,
+    make_scheduler,
+)
+from repro.iso26262 import Asil, Ftti
+from repro.redundancy import (
+    RedundancyMode,
+    RedundantKernelManager,
+    RedundantRunResult,
+    analyze_diversity,
+)
+from repro.workloads import classify_kernel, get_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SchedulingError",
+    "SimulationError",
+    "CapacityError",
+    "RedundancyError",
+    "SafetyViolation",
+    "FaultInjectionError",
+    # gpu
+    "GPUConfig",
+    "SMConfig",
+    "KernelDescriptor",
+    "KernelLaunch",
+    "GPUSimulator",
+    "SimulationResult",
+    "ExecutionTrace",
+    "simulate",
+    # schedulers
+    "KernelScheduler",
+    "DefaultScheduler",
+    "SRRSScheduler",
+    "HALFScheduler",
+    "make_scheduler",
+    # safety
+    "Asil",
+    "Ftti",
+    # redundancy
+    "RedundantKernelManager",
+    "RedundantRunResult",
+    "RedundancyMode",
+    "analyze_diversity",
+    # workloads
+    "classify_kernel",
+    "get_benchmark",
+]

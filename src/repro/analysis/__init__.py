@@ -1,0 +1,43 @@
+"""Experiment runners and report rendering."""
+
+from repro.analysis.experiments import (
+    CoverageRow,
+    Fig3Row,
+    Fig4Row,
+    Fig5Row,
+    PolicyFitRow,
+    dispatch_latency_sweep,
+    fault_coverage_by_policy,
+    fig3_kernel_categories,
+    fig4_scheduler_comparison,
+    fig5_cots_comparison,
+    policy_fit_matrix,
+    sm_count_sweep,
+)
+from repro.analysis.bounds import (
+    half_chain_bound,
+    isolated_kernel_bound,
+    srrs_chain_bound,
+)
+from repro.analysis.report import render_bars, render_grouped_bars, render_table
+
+__all__ = [
+    "Fig3Row",
+    "Fig4Row",
+    "Fig5Row",
+    "CoverageRow",
+    "PolicyFitRow",
+    "fig3_kernel_categories",
+    "fig4_scheduler_comparison",
+    "fig5_cots_comparison",
+    "fault_coverage_by_policy",
+    "policy_fit_matrix",
+    "dispatch_latency_sweep",
+    "sm_count_sweep",
+    "render_table",
+    "render_bars",
+    "render_grouped_bars",
+    "isolated_kernel_bound",
+    "srrs_chain_bound",
+    "half_chain_bound",
+]

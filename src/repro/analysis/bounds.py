@@ -1,0 +1,137 @@
+"""Analytic execution-time bounds (the real-time angle of the paper).
+
+The paper targets *critical real-time* systems: schedulability needs
+worst-case execution bounds, and the related work it cites ([19], [20])
+shows why uncontrolled GPU scheduling defeats timing analysis.  SRRS and
+HALF, by *constraining* the schedule, make simple compositional bounds
+valid:
+
+* under SRRS, kernels run alone on the whole GPU and serialize, so the
+  chain bound is the sum of per-kernel isolated bounds plus dispatch
+  gaps;
+* under HALF, each copy runs alone in its partition, so the chain bound
+  is the per-copy bound over the partition's SMs (copies proceed in
+  parallel, staggered by dispatch gaps);
+* under the *default* policy no such compositional bound exists (copies
+  interfere arbitrarily) — mirroring the timing-analyzability critique.
+
+Per-kernel isolated bounds use the fluid model's exact structure: with
+least-loaded placement the worst per-SM load of a grid of ``G`` blocks
+over ``S`` SMs is ``ceil(G / S)`` blocks (capped by occupancy waves), and
+memory drains at full DRAM bandwidth, overlapped.  These bounds are
+*sound* for the simulator (property-tested in
+``tests/test_bounds_properties.py``) and tight when grids divide the
+machine evenly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import KernelDescriptor
+from repro.gpu.occupancy import blocks_per_sm
+
+__all__ = [
+    "isolated_kernel_bound",
+    "srrs_chain_bound",
+    "half_chain_bound",
+]
+
+
+def isolated_kernel_bound(kernel: KernelDescriptor, gpu: GPUConfig,
+                          num_sms: int | None = None) -> float:
+    """Worst-case cycles of one kernel alone on ``num_sms`` SMs.
+
+    Sound for the fluid simulator with least-loaded or round-robin
+    placement.  Two components, summed:
+
+    * **compute**: the busiest SM receives at most ``ceil(G / S)`` blocks
+      and drains them at full issue throughput;
+    * **memory**: DRAM traffic drains at the full GPU bandwidth whenever
+      any resident block has outstanding traffic.
+
+    The components are *added*, not maxed: at occupancy-limited wave
+    boundaries the DRAM can sit idle while resident blocks finish their
+    compute tails (the next wave's traffic has not been admitted yet), so
+    in the worst case the two phases do not overlap at all.  The sum is
+    therefore a sound envelope; it is tight for pure-compute kernels and
+    within the compute tail for memory-bound ones (property-tested).
+
+    Args:
+        kernel: the kernel.
+        gpu: platform configuration.
+        num_sms: SMs available to the kernel (defaults to the whole GPU;
+            pass the partition size for HALF).
+    """
+    sms = num_sms if num_sms is not None else gpu.num_sms
+    if sms <= 0 or sms > gpu.num_sms:
+        raise ConfigurationError(f"invalid SM count {sms}")
+    # occupancy cannot increase the bound: resident or queued, the SM
+    # still has to retire its share of work at issue_throughput — but it
+    # must be computable (raises CapacityError for impossible kernels)
+    blocks_per_sm(kernel, gpu.sm)
+    worst_blocks_per_sm = math.ceil(kernel.grid_blocks / sms)
+    compute_bound = (
+        worst_blocks_per_sm * kernel.work_per_block
+        / gpu.sm.issue_throughput
+    )
+    memory_bound = kernel.total_bytes / gpu.dram_bandwidth
+    return compute_bound + memory_bound
+
+
+def srrs_chain_bound(kernels: Sequence[KernelDescriptor], gpu: GPUConfig,
+                     copies: int = 2) -> float:
+    """Worst-case makespan of a redundant chain under SRRS.
+
+    SRRS fully serializes: every copy of every kernel runs alone on the
+    whole GPU.  The bound is the sum of isolated bounds of all copies
+    plus one dispatch gap per launch (each launch traverses the serial
+    host dispatch path, and admission additionally waits for idle —
+    already covered by the serialization sum).
+
+    Args:
+        kernels: the chain.
+        copies: redundancy degree.
+    """
+    if copies < 1:
+        raise ConfigurationError("copies must be >= 1")
+    if not kernels:
+        raise ConfigurationError("chain must be non-empty")
+    execution = sum(
+        isolated_kernel_bound(k, gpu) for k in kernels
+    ) * copies
+    dispatch = gpu.dispatch_latency * len(kernels) * copies
+    return execution + dispatch
+
+
+def half_chain_bound(kernels: Sequence[KernelDescriptor], gpu: GPUConfig,
+                     partitions: int = 2) -> float:
+    """Worst-case makespan of a redundant chain under HALF.
+
+    Every copy is confined to its partition and shares it with no other
+    copy, so the chain bound per copy is compositional over the partition
+    size; copies run concurrently, so the makespan is the slowest copy's
+    bound plus its dispatch offsets.  The smallest partition (for uneven
+    splits) gives the worst bound.
+
+    Args:
+        kernels: the chain.
+        partitions: SM groups (= redundancy degree under HALF).
+    """
+    if partitions < 2:
+        raise ConfigurationError("HALF needs >= 2 partitions")
+    if partitions > gpu.num_sms:
+        raise ConfigurationError("more partitions than SMs")
+    if not kernels:
+        raise ConfigurationError("chain must be non-empty")
+    smallest = gpu.num_sms // partitions
+    execution = sum(
+        isolated_kernel_bound(k, gpu, num_sms=smallest) for k in kernels
+    )
+    # every launch of every copy traverses the serial dispatch path; in
+    # the worst case the observed copy is dispatched last each round
+    dispatch = gpu.dispatch_latency * len(kernels) * partitions
+    return execution + dispatch

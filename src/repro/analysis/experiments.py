@@ -1,0 +1,341 @@
+"""Shared experiment runners behind the benchmark harness.
+
+Each function regenerates one paper artifact (or extension experiment)
+and returns structured rows, so benches, tests and EXPERIMENTS.md all
+consume the same code path.  See DESIGN.md's per-experiment index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.campaign import CampaignConfig, CampaignReport, FaultCampaign
+from repro.gpu.config import GPUConfig
+from repro.gpu.cots import COTSDevice, cots_end_to_end
+from repro.gpu.scheduler.registry import PAPER_POLICIES
+from repro.redundancy.manager import RedundantKernelManager
+from repro.workloads.classify import classify_kernel, recommend_policy
+from repro.workloads.rodinia import (
+    FIG4_BENCHMARKS,
+    FIG5_BENCHMARKS,
+    get_benchmark,
+)
+from repro.workloads.synthetic import (
+    make_friendly_kernel,
+    make_heavy_kernel,
+    make_narrow_kernel,
+    make_short_kernel,
+)
+
+__all__ = [
+    "Fig4Row",
+    "fig4_scheduler_comparison",
+    "Fig5Row",
+    "fig5_cots_comparison",
+    "Fig3Row",
+    "fig3_kernel_categories",
+    "CoverageRow",
+    "fault_coverage_by_policy",
+    "PolicyFitRow",
+    "policy_fit_matrix",
+    "dispatch_latency_sweep",
+    "sm_count_sweep",
+]
+
+
+# ----------------------------------------------------------------------
+# E3 — Figure 4
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig4Row:
+    """One benchmark of the Figure 4 comparison.
+
+    Attributes:
+        benchmark: Rodinia benchmark name.
+        default_cycles: GPU busy cycles of redundant execution under the
+            stock scheduler (the normalisation base).
+        half_ratio / srrs_ratio: normalized busy cycles under HALF / SRRS.
+        half_diverse / srrs_diverse: whether the run satisfied the
+            diverse-redundancy criterion (must be True — that is the
+            point of the policies).
+        default_diverse: diversity under the stock scheduler (typically
+            False — the motivation).
+    """
+
+    benchmark: str
+    default_cycles: float
+    half_ratio: float
+    srrs_ratio: float
+    default_diverse: bool
+    half_diverse: bool
+    srrs_diverse: bool
+
+
+def fig4_scheduler_comparison(gpu: Optional[GPUConfig] = None,
+                              benchmarks: Sequence[str] = FIG4_BENCHMARKS
+                              ) -> List[Fig4Row]:
+    """Regenerate Figure 4: normalized redundant-execution cycles.
+
+    Simulates each benchmark's redundant kernel chain under the default,
+    HALF and SRRS policies on the 6-SM GPGPU-Sim-like GPU and normalizes
+    GPU busy cycles to the default scheduler.
+    """
+    gpu = gpu or GPUConfig.gpgpusim_like()
+    rows: List[Fig4Row] = []
+    for name in benchmarks:
+        bench = get_benchmark(name)
+        cycles: Dict[str, float] = {}
+        diverse: Dict[str, bool] = {}
+        for policy in PAPER_POLICIES:
+            run = RedundantKernelManager(gpu, policy).run(
+                list(bench.kernels), tag=name
+            )
+            cycles[policy] = run.sim.trace.busy_cycles
+            diverse[policy] = run.diversity.fully_diverse
+        base = cycles["default"]
+        rows.append(
+            Fig4Row(
+                benchmark=name,
+                default_cycles=base,
+                half_ratio=cycles["half"] / base,
+                srrs_ratio=cycles["srrs"] / base,
+                default_diverse=diverse["default"],
+                half_diverse=diverse["half"],
+                srrs_diverse=diverse["srrs"],
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E4 — Figure 5
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig5Row:
+    """One benchmark of the Figure 5 COTS comparison (milliseconds)."""
+
+    benchmark: str
+    baseline_ms: float
+    redundant_ms: float
+
+    @property
+    def ratio(self) -> float:
+        """Redundant-serialized over baseline end-to-end time."""
+        return self.redundant_ms / self.baseline_ms
+
+
+def fig5_cots_comparison(device: Optional[COTSDevice] = None,
+                         benchmarks: Sequence[str] = FIG5_BENCHMARKS
+                         ) -> List[Fig5Row]:
+    """Regenerate Figure 5: COTS baseline vs redundant-serialized times."""
+    device = device or COTSDevice()
+    rows: List[Fig5Row] = []
+    for name in benchmarks:
+        bench = get_benchmark(name)
+        rows.append(
+            Fig5Row(
+                benchmark=name,
+                baseline_ms=cots_end_to_end(bench, device).total_ms,
+                redundant_ms=cots_end_to_end(
+                    bench, device, redundant=True
+                ).total_ms,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E2 — Figure 3
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig3Row:
+    """Classification evidence for one kernel (Figure 3 taxonomy)."""
+
+    kernel: str
+    category: str
+    isolated_cycles: float
+    overlap_fraction: float
+    resident_fraction: float
+    recommended_policy: str
+
+
+def fig3_kernel_categories(gpu: Optional[GPUConfig] = None) -> List[Fig3Row]:
+    """Regenerate Figure 3 with synthetic archetype kernels.
+
+    Builds one representative kernel per category (plus a narrow
+    myocyte-like one) and reports the measured overlap evidence.
+    """
+    gpu = gpu or GPUConfig.gpgpusim_like()
+    kernels = [
+        make_short_kernel(gpu),
+        make_heavy_kernel(gpu),
+        make_friendly_kernel(gpu),
+        make_narrow_kernel(gpu, name="synthetic/narrow-long"),
+    ]
+    rows: List[Fig3Row] = []
+    for kernel in kernels:
+        report = classify_kernel(kernel, gpu)
+        rows.append(
+            Fig3Row(
+                kernel=kernel.name,
+                category=report.category.value,
+                isolated_cycles=report.isolated_cycles,
+                overlap_fraction=report.overlap_fraction,
+                resident_fraction=report.resident_fraction,
+                recommended_policy=recommend_policy(report.category),
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E5 — fault coverage by policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CoverageRow:
+    """Fault-injection outcome of one policy (extension experiment E5)."""
+
+    policy: str
+    total: int
+    masked: int
+    detected: int
+    sdc: int
+    coverage: float
+
+
+def fault_coverage_by_policy(gpu: Optional[GPUConfig] = None,
+                             benchmark: str = "hotspot",
+                             config: Optional[CampaignConfig] = None
+                             ) -> List[CoverageRow]:
+    """Run the E5 campaign for all three policies on one benchmark."""
+    gpu = gpu or GPUConfig.gpgpusim_like()
+    config = config or CampaignConfig()
+    bench = get_benchmark(benchmark)
+    rows: List[CoverageRow] = []
+    for policy in PAPER_POLICIES:
+        run = RedundantKernelManager(gpu, policy).run(
+            list(bench.kernels), tag=benchmark
+        )
+        report = FaultCampaign(run).run(config)
+        rows.append(
+            CoverageRow(
+                policy=report.policy,
+                total=report.total,
+                masked=report.masked,
+                detected=report.detected,
+                sdc=report.sdc,
+                coverage=report.detection_coverage,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E6 — policy-fit matrix (Section IV-D)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PolicyFitRow:
+    """Overhead of each policy for one kernel category."""
+
+    kernel: str
+    category: str
+    half_ratio: float
+    srrs_ratio: float
+    best_policy: str
+
+
+def policy_fit_matrix(gpu: Optional[GPUConfig] = None) -> List[PolicyFitRow]:
+    """Measure each policy's overhead per kernel category (Section IV-D).
+
+    Expected: SRRS wins for short and heavy kernels, HALF for friendly
+    ones — with the narrow-long kernel as the extreme SRRS loss case.
+    """
+    gpu = gpu or GPUConfig.gpgpusim_like()
+    kernels = [
+        make_short_kernel(gpu),
+        make_heavy_kernel(gpu),
+        make_friendly_kernel(gpu),
+        make_narrow_kernel(gpu, name="synthetic/narrow-long"),
+    ]
+    rows: List[PolicyFitRow] = []
+    for kernel in kernels:
+        category = classify_kernel(kernel, gpu).category
+        cycles: Dict[str, float] = {}
+        for policy in PAPER_POLICIES:
+            run = RedundantKernelManager(gpu, policy).run([kernel])
+            cycles[policy] = run.sim.trace.busy_cycles
+        base = cycles["default"]
+        half_ratio = cycles["half"] / base
+        srrs_ratio = cycles["srrs"] / base
+        rows.append(
+            PolicyFitRow(
+                kernel=kernel.name,
+                category=category.value,
+                half_ratio=half_ratio,
+                srrs_ratio=srrs_ratio,
+                best_policy="half" if half_ratio < srrs_ratio else "srrs",
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E9 — ablation sweeps
+# ----------------------------------------------------------------------
+def dispatch_latency_sweep(latencies: Sequence[float],
+                           benchmark: str = "hotspot",
+                           gpu: Optional[GPUConfig] = None
+                           ) -> List[Tuple[float, float, float]]:
+    """Sweep the host dispatch latency (the natural-staggering knob).
+
+    Returns:
+        ``(latency, half_ratio, srrs_ratio)`` tuples — how each policy's
+        overhead depends on the serial-dispatch gap.
+    """
+    from dataclasses import replace
+
+    base_gpu = gpu or GPUConfig.gpgpusim_like()
+    bench = get_benchmark(benchmark)
+    rows: List[Tuple[float, float, float]] = []
+    for latency in latencies:
+        cfg = replace(base_gpu, dispatch_latency=latency)
+        cycles = {}
+        for policy in PAPER_POLICIES:
+            run = RedundantKernelManager(cfg, policy).run(list(bench.kernels))
+            cycles[policy] = run.sim.trace.busy_cycles
+        rows.append(
+            (
+                latency,
+                cycles["half"] / cycles["default"],
+                cycles["srrs"] / cycles["default"],
+            )
+        )
+    return rows
+
+
+def sm_count_sweep(sm_counts: Sequence[int], benchmark: str = "hotspot",
+                   gpu: Optional[GPUConfig] = None
+                   ) -> List[Tuple[int, float, float]]:
+    """Sweep the SM count (scaling toward bigger automotive GPUs).
+
+    Returns:
+        ``(num_sms, half_ratio, srrs_ratio)`` tuples.
+    """
+    base_gpu = gpu or GPUConfig.gpgpusim_like()
+    bench = get_benchmark(benchmark)
+    rows: List[Tuple[int, float, float]] = []
+    for count in sm_counts:
+        cfg = base_gpu.with_sms(count)
+        cycles = {}
+        for policy in PAPER_POLICIES:
+            run = RedundantKernelManager(cfg, policy).run(list(bench.kernels))
+            cycles[policy] = run.sim.trace.busy_cycles
+        rows.append(
+            (
+                count,
+                cycles["half"] / cycles["default"],
+                cycles["srrs"] / cycles["default"],
+            )
+        )
+    return rows

@@ -1,0 +1,166 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro fig1            # ASIL decomposition examples
+    python -m repro fig3            # kernel categories
+    python -m repro fig4            # scheduler policy comparison
+    python -m repro fig5            # COTS end-to-end comparison
+    python -m repro coverage        # fault-injection coverage by policy
+    python -m repro policyfit       # Section IV-D policy-fit matrix
+    python -m repro sweeps          # dispatch-latency / SM-count ablations
+    python -m repro all             # everything above
+
+Options: ``--sms N`` changes the GPU size for the simulated artifacts,
+``--benchmark NAME`` selects the workload for ``coverage``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.experiments import (
+    dispatch_latency_sweep,
+    fault_coverage_by_policy,
+    fig3_kernel_categories,
+    fig4_scheduler_comparison,
+    fig5_cots_comparison,
+    policy_fit_matrix,
+    sm_count_sweep,
+)
+from repro.analysis.report import render_table
+from repro.gpu.config import GPUConfig
+from repro.iso26262.decomposition import FIGURE1_EXAMPLES
+
+__all__ = ["main"]
+
+
+def _cmd_fig1(args: argparse.Namespace) -> str:
+    return render_table(
+        ["example", "decomposition"],
+        [[name, rule.describe()] for name, rule in FIGURE1_EXAMPLES],
+        title="Figure 1 — ASIL decomposition examples",
+    )
+
+
+def _cmd_fig3(args: argparse.Namespace) -> str:
+    rows = fig3_kernel_categories(_gpu(args))
+    return render_table(
+        ["kernel", "category", "isolated(cy)", "overlap", "policy"],
+        [[r.kernel, r.category, r.isolated_cycles, r.overlap_fraction,
+          r.recommended_policy] for r in rows],
+        title="Figure 3 — Kernel categories",
+    )
+
+
+def _cmd_fig4(args: argparse.Namespace) -> str:
+    rows = fig4_scheduler_comparison(_gpu(args))
+    return render_table(
+        ["benchmark", "default(cy)", "HALF", "SRRS"],
+        [[r.benchmark, r.default_cycles, r.half_ratio, r.srrs_ratio]
+         for r in rows],
+        title="Figure 4 — Redundant kernel cycles (normalized to default)",
+    )
+
+
+def _cmd_fig5(args: argparse.Namespace) -> str:
+    rows = fig5_cots_comparison()
+    return render_table(
+        ["benchmark", "baseline(ms)", "redundant(ms)", "ratio"],
+        [[r.benchmark, r.baseline_ms, r.redundant_ms, r.ratio] for r in rows],
+        title="Figure 5 — COTS end-to-end execution time",
+    )
+
+
+def _cmd_coverage(args: argparse.Namespace) -> str:
+    rows = fault_coverage_by_policy(_gpu(args), benchmark=args.benchmark)
+    return render_table(
+        ["policy", "n", "masked", "detected", "SDC", "coverage"],
+        [[r.policy, r.total, r.masked, r.detected, r.sdc, r.coverage]
+         for r in rows],
+        title=f"Fault-detection coverage by policy ({args.benchmark})",
+    )
+
+
+def _cmd_policyfit(args: argparse.Namespace) -> str:
+    rows = policy_fit_matrix(_gpu(args))
+    return render_table(
+        ["kernel", "category", "HALF", "SRRS", "best"],
+        [[r.kernel, r.category, r.half_ratio, r.srrs_ratio, r.best_policy]
+         for r in rows],
+        title="Policy fit per kernel category (Section IV-D)",
+    )
+
+
+def _cmd_sweeps(args: argparse.Namespace) -> str:
+    latency_rows = dispatch_latency_sweep(
+        [500.0, 1500.0, 3000.0, 6000.0, 12000.0], gpu=_gpu(args)
+    )
+    sm_rows = sm_count_sweep([2, 4, 6, 8, 12, 16])
+    return "\n\n".join([
+        render_table(
+            ["dispatch latency (cy)", "HALF", "SRRS"], latency_rows,
+            title="Ablation — dispatch-latency sweep (hotspot)",
+        ),
+        render_table(
+            ["SMs", "HALF", "SRRS"], sm_rows,
+            title="Ablation — SM-count sweep (hotspot)",
+        ),
+    ])
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "fig1": _cmd_fig1,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "coverage": _cmd_coverage,
+    "policyfit": _cmd_policyfit,
+    "sweeps": _cmd_sweeps,
+}
+
+
+def _gpu(args: argparse.Namespace) -> GPUConfig:
+    return GPUConfig.gpgpusim_like(num_sms=args.sms)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's figures and extension "
+                    "experiments (Alcaide et al., DATE 2019).",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="artifact to regenerate",
+    )
+    parser.add_argument(
+        "--sms", type=int, default=6,
+        help="number of SMs for the simulated artifacts (default 6)",
+    )
+    parser.add_argument(
+        "--benchmark", default="hotspot",
+        help="workload for the coverage command (default hotspot)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "all":
+        names: List[str] = sorted(_COMMANDS)
+    else:
+        names = [args.command]
+    outputs = []
+    for name in names:
+        outputs.append(_COMMANDS[name](args))
+    print("\n\n".join(outputs))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  Subclasses are deliberately fine-grained: the
+simulator, the scheduler framework, the redundancy manager and the safety
+model each have their own error type, which makes test assertions precise
+and error messages actionable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or out-of-range parameters.
+
+    Examples: a GPU with zero SMs, a kernel whose thread block exceeds the
+    per-SM thread limit, a HALF partition that does not cover all SMs.
+    """
+
+
+class SchedulingError(ReproError):
+    """A kernel scheduler produced an invalid decision.
+
+    Raised, for instance, when a scheduler places a thread block on an SM
+    outside its allowed mask, or admits a kernel that violates its own
+    serialization rules.  These indicate bugs in scheduler implementations
+    (or deliberately injected scheduler faults escaping their sandbox).
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state.
+
+    Examples: time moving backwards, a thread block completing twice, or a
+    deadlock in which undispatched work exists but no progress is possible.
+    """
+
+
+class CapacityError(ReproError):
+    """A kernel can never fit on the configured GPU.
+
+    Raised when a single thread block requires more threads, registers or
+    shared memory than one SM provides, so no scheduler could ever place it.
+    """
+
+
+class RedundancyError(ReproError):
+    """The redundant-execution protocol was violated.
+
+    Examples: comparing outputs of kernels with different grids, requesting
+    a redundancy degree below two, or collecting results before all copies
+    completed.
+    """
+
+
+class SafetyViolation(ReproError):
+    """An ISO 26262 requirement check failed.
+
+    Raised by the safety model when, e.g., an ASIL decomposition is invalid,
+    a diagnostic-coverage target is not met, or a fault was not handled
+    within the fault-tolerant time interval (FTTI).
+    """
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection campaign was configured inconsistently.
+
+    Examples: injecting into a trace that does not contain the target SM,
+    or classifying outcomes before the campaign ran.
+    """

@@ -1,0 +1,49 @@
+"""Fault-injection framework (experiments E5 and E8).
+
+Hardware faults (:mod:`~repro.faults.types`) are applied to execution
+traces (:mod:`~repro.faults.injector`), classified
+(:mod:`~repro.faults.outcomes`) and aggregated into campaigns
+(:mod:`~repro.faults.campaign`); kernel-scheduler misbehaviour is injected
+and audited separately (:mod:`~repro.faults.scheduler_faults`).
+"""
+
+from repro.faults.campaign import CampaignConfig, CampaignReport, FaultCampaign
+from repro.faults.injector import CorruptionMap, apply_fault
+from repro.faults.outcomes import FaultOutcome, InjectionResult, classify_outcome
+from repro.faults.scheduler_faults import (
+    FaultySchedulerWrapper,
+    PlacementDeviation,
+    SchedulerFault,
+    SchedulerFaultKind,
+    SchedulerFaultOutcome,
+    audit_placement,
+    classify_scheduler_fault,
+)
+from repro.faults.types import (
+    FaultDescriptor,
+    PermanentSMFault,
+    SEUFault,
+    TransientCCF,
+)
+
+__all__ = [
+    "FaultDescriptor",
+    "TransientCCF",
+    "PermanentSMFault",
+    "SEUFault",
+    "apply_fault",
+    "CorruptionMap",
+    "FaultOutcome",
+    "InjectionResult",
+    "classify_outcome",
+    "CampaignConfig",
+    "CampaignReport",
+    "FaultCampaign",
+    "SchedulerFault",
+    "SchedulerFaultKind",
+    "FaultySchedulerWrapper",
+    "SchedulerFaultOutcome",
+    "classify_scheduler_fault",
+    "PlacementDeviation",
+    "audit_placement",
+]

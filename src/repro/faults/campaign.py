@@ -1,0 +1,272 @@
+"""Fault-injection campaigns over redundant executions.
+
+A campaign takes one *clean* redundant run (trace + comparisons are
+deterministic), samples a population of hardware faults, applies each to
+the trace, re-derives the affected output comparisons and classifies the
+outcome.  Because faults do not perturb timing in this coarse model, a
+single simulation per scheduling policy supports the whole campaign —
+thousands of injections cost milliseconds.
+
+This is experiment E5 (DESIGN.md): the paper *claims* SRRS and HALF
+achieve diverse redundancy by construction; the campaign measures the
+silent-corruption rate of each policy under transient CCFs (voltage
+droops), permanent SM defects and local SEUs.  Expected result: the
+default scheduler exhibits SDC (redundant copies corrupted identically),
+SRRS and HALF do not.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FaultInjectionError, SafetyViolation
+from repro.faults.injector import CorruptionMap, apply_fault
+from repro.faults.outcomes import FaultOutcome, InjectionResult, classify_outcome
+from repro.faults.types import (
+    FaultDescriptor,
+    PermanentSMFault,
+    SEUFault,
+    TransientCCF,
+)
+from repro.iso26262.metrics import HardwareMetrics, coverage_from_campaign
+from repro.redundancy.comparison import build_signature, compare_signatures
+from repro.redundancy.manager import RedundantRunResult
+
+__all__ = ["CampaignConfig", "CampaignReport", "FaultCampaign"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Sampling plan of a fault-injection campaign.
+
+    Attributes:
+        transient_ccf: number of chip-wide transient CCFs (voltage droops)
+            with uniformly random fault instants.
+        permanent_sm: number of permanent SM defects, uniform over SMs
+            with uniformly random onset times.
+        seu: number of local single-event upsets, uniform over (SM, time).
+        seed: PRNG seed (campaigns are reproducible).
+        phase_quantum: transient-CCF alignment quantum in work units.
+    """
+
+    transient_ccf: int = 200
+    permanent_sm: int = 50
+    seu: int = 100
+    seed: int = 2019
+    phase_quantum: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.transient_ccf, self.permanent_sm, self.seu) < 0:
+            raise FaultInjectionError("injection counts cannot be negative")
+        if self.transient_ccf + self.permanent_sm + self.seu == 0:
+            raise FaultInjectionError("campaign must inject at least one fault")
+        if self.phase_quantum <= 0:
+            raise FaultInjectionError("phase quantum must be positive")
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated campaign outcome.
+
+    Attributes:
+        policy: scheduler label of the underlying run.
+        injections: per-injection records.
+        by_kind: ``fault-kind -> outcome -> count`` breakdown.
+    """
+
+    policy: str
+    injections: List[InjectionResult] = field(default_factory=list)
+    by_kind: Dict[str, Dict[FaultOutcome, int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def count(self, outcome: FaultOutcome) -> int:
+        """Total injections with the given outcome."""
+        return sum(1 for r in self.injections if r.outcome is outcome)
+
+    @property
+    def total(self) -> int:
+        """Campaign size."""
+        return len(self.injections)
+
+    @property
+    def masked(self) -> int:
+        """Injections that hit no active computation."""
+        return self.count(FaultOutcome.MASKED)
+
+    @property
+    def detected(self) -> int:
+        """Injections caught by the DCLS comparison."""
+        return self.count(FaultOutcome.DETECTED)
+
+    @property
+    def sdc(self) -> int:
+        """Silent data corruptions (the ASIL-D killer)."""
+        return self.count(FaultOutcome.SDC)
+
+    @property
+    def detection_coverage(self) -> float:
+        """Detected / (detected + SDC); 1.0 when nothing was dangerous."""
+        dangerous = self.detected + self.sdc
+        return 1.0 if dangerous == 0 else self.detected / dangerous
+
+    def sdc_injections(self) -> List[InjectionResult]:
+        """The silent-corruption records (useful for debugging policies)."""
+        return [r for r in self.injections if r.outcome is FaultOutcome.SDC]
+
+    def assert_no_sdc(self) -> None:
+        """Raise when any injection escaped detection.
+
+        Raises:
+            SafetyViolation: listing up to five offending injections.
+        """
+        offenders = self.sdc_injections()
+        if offenders:
+            sample = "; ".join(r.fault_label for r in offenders[:5])
+            raise SafetyViolation(
+                f"{self.policy}: {len(offenders)} silent corruption(s) "
+                f"escaped the DCLS comparison, e.g. {sample}"
+            )
+
+    def hardware_metrics(self, raw_failure_rate_per_hour: float = 1e-6
+                         ) -> HardwareMetrics:
+        """Map campaign statistics onto ISO 26262 architectural metrics."""
+        return coverage_from_campaign(
+            total_injections=self.total,
+            detected=self.detected,
+            masked=self.masked,
+            undetected=self.sdc,
+            raw_failure_rate_per_hour=raw_failure_rate_per_hour,
+        )
+
+    def summary(self) -> str:
+        """One-line campaign summary for reports."""
+        return (
+            f"{self.policy}: n={self.total} masked={self.masked} "
+            f"detected={self.detected} SDC={self.sdc} "
+            f"coverage={self.detection_coverage:.4f}"
+        )
+
+
+class FaultCampaign:
+    """Runs fault-injection campaigns against a redundant execution.
+
+    Args:
+        run: the clean redundant run to attack (one per policy).
+    """
+
+    def __init__(self, run: RedundantRunResult) -> None:
+        if run.error_detected or run.silent_corruption:
+            raise FaultInjectionError(
+                "campaign baseline must be a clean (fault-free) run"
+            )
+        self._run = run
+        self._trace = run.sim.trace
+        # instance ids per logical, in copy order, for quick re-comparison
+        self._groups: Dict[int, Tuple[int, ...]] = {}
+        for logical in self._trace.logical_ids():
+            copies = self._trace.copies_of(logical)
+            self._groups[logical] = tuple(
+                copies[c].instance_id for c in sorted(copies)
+            )
+
+    # ------------------------------------------------------------------
+    def classify(self, fault: FaultDescriptor) -> InjectionResult:
+        """Inject one fault and classify its outcome."""
+        corruption = apply_fault(fault, self._trace)
+        outcome = self._classify_corruption(corruption)
+        affected = tuple(
+            sorted(
+                {
+                    self._trace.span(iid).logical_id
+                    for (iid, _tb) in corruption
+                }
+            )
+        )
+        return InjectionResult(
+            fault_label=fault.describe(),
+            outcome=outcome,
+            corrupted_blocks=len(corruption),
+            affected_logicals=affected,
+        )
+
+    def _classify_corruption(self, corruption: CorruptionMap) -> FaultOutcome:
+        if not corruption:
+            return FaultOutcome.MASKED
+        affected_logicals = {
+            self._trace.span(iid).logical_id for (iid, _tb) in corruption
+        }
+        comparisons = []
+        for logical in affected_logicals:
+            signatures = [
+                build_signature(self._trace, iid, corruption)
+                for iid in self._groups[logical]
+            ]
+            comparisons.append(compare_signatures(signatures))
+        return classify_outcome(corruption, comparisons)
+
+    # ------------------------------------------------------------------
+    def sample_faults(self, config: CampaignConfig) -> List[FaultDescriptor]:
+        """Draw the campaign's fault population (reproducibly)."""
+        rng = random.Random(config.seed)
+        makespan = self._trace.makespan
+        num_sms = self._trace.num_sms
+        work_hint = max(
+            (r.duration for r in self._trace.tb_records), default=1000.0
+        )
+        faults: List[FaultDescriptor] = []
+        fid = 0
+        for _ in range(config.transient_ccf):
+            faults.append(
+                TransientCCF(
+                    time=rng.uniform(0.0, makespan),
+                    fault_id=fid,
+                    sms=None,
+                    work_per_block=work_hint,
+                    phase_quantum=config.phase_quantum,
+                )
+            )
+            fid += 1
+        for _ in range(config.permanent_sm):
+            faults.append(
+                PermanentSMFault(
+                    sm=rng.randrange(num_sms),
+                    fault_id=fid,
+                    since=rng.uniform(0.0, makespan * 0.5),
+                )
+            )
+            fid += 1
+        for _ in range(config.seu):
+            faults.append(
+                SEUFault(
+                    sm=rng.randrange(num_sms),
+                    time=rng.uniform(0.0, makespan),
+                    fault_id=fid,
+                )
+            )
+            fid += 1
+        return faults
+
+    def run(self, config: Optional[CampaignConfig] = None,
+            faults: Optional[Sequence[FaultDescriptor]] = None
+            ) -> CampaignReport:
+        """Run the campaign.
+
+        Args:
+            config: sampling plan (ignored when ``faults`` is given).
+            faults: explicit fault population (overrides sampling).
+
+        Returns:
+            The aggregated :class:`CampaignReport`.
+        """
+        if faults is None:
+            faults = self.sample_faults(config or CampaignConfig())
+        report = CampaignReport(policy=self._run.sim.scheduler_name)
+        for fault in faults:
+            result = self.classify(fault)
+            report.injections.append(result)
+            kind = type(fault).__name__
+            bucket = report.by_kind.setdefault(kind, {})
+            bucket[result.outcome] = bucket.get(result.outcome, 0) + 1
+        return report

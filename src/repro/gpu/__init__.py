@@ -1,0 +1,49 @@
+"""GPU architecture, timing simulation and scheduling substrate.
+
+This package is the reproduction's stand-in for GPGPU-Sim plus the COTS
+GPU testbed: configuration objects (:mod:`repro.gpu.config`), the kernel
+model (:mod:`repro.gpu.kernel`), occupancy rules
+(:mod:`repro.gpu.occupancy`), pluggable kernel schedulers
+(:mod:`repro.gpu.scheduler`), the discrete-event simulator
+(:mod:`repro.gpu.simulator`), execution traces (:mod:`repro.gpu.trace`)
+and the analytic COTS end-to-end model (:mod:`repro.gpu.cots`).
+"""
+
+from repro.gpu.config import GPUConfig, SMConfig
+from repro.gpu.kernel import KernelDescriptor, KernelLaunch, dependent_chain
+from repro.gpu.memory import (
+    AccessProfile,
+    L2Model,
+    derive_bytes_per_block,
+    derive_kernel,
+)
+from repro.gpu.occupancy import (
+    OccupancyReport,
+    blocks_per_sm,
+    max_resident_blocks,
+    occupancy_report,
+)
+from repro.gpu.simulator import GPUSimulator, SimulationResult, simulate
+from repro.gpu.trace import ExecutionTrace, KernelSpan, TBRecord
+
+__all__ = [
+    "GPUConfig",
+    "SMConfig",
+    "KernelDescriptor",
+    "KernelLaunch",
+    "dependent_chain",
+    "OccupancyReport",
+    "blocks_per_sm",
+    "max_resident_blocks",
+    "occupancy_report",
+    "GPUSimulator",
+    "SimulationResult",
+    "simulate",
+    "ExecutionTrace",
+    "KernelSpan",
+    "TBRecord",
+    "AccessProfile",
+    "L2Model",
+    "derive_bytes_per_block",
+    "derive_kernel",
+]

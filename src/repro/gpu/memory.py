@@ -1,0 +1,145 @@
+"""Cache/DRAM traffic modelling.
+
+The simulator consumes a per-block DRAM traffic figure
+(:attr:`~repro.gpu.kernel.KernelDescriptor.bytes_per_block`).  For the
+Rodinia-shaped suite those figures are given directly; this module
+derives them from first principles when building *new* workloads: an
+:class:`AccessProfile` describes what a thread block touches, and a
+capacity-based :class:`L2Model` estimates how much of it spills to DRAM.
+
+The model is deliberately simple (no address streams): the GPU-wide L2
+holds the combined working set of all concurrently-resident blocks; when
+it fits, only cold misses reach DRAM; when it does not, reuse is lost
+proportionally.  Inter-block sharing (halos, broadcast lookup tables —
+ubiquitous in the stencil/graph kernels the paper evaluates) shrinks the
+combined working set.  The SECDED ECC protecting these arrays in NVIDIA
+GPUs (Section III-B of the paper) is carried as a capacity overhead knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import KernelDescriptor
+from repro.gpu.occupancy import blocks_per_sm
+
+__all__ = ["AccessProfile", "L2Model", "derive_bytes_per_block",
+           "derive_kernel"]
+
+
+@dataclass(frozen=True)
+class AccessProfile:
+    """Memory behaviour of one thread block.
+
+    Attributes:
+        footprint_bytes: unique bytes the block touches (its working set).
+        access_bytes: total bytes of load/store traffic the block issues
+            (>= footprint; the ratio is the block's reuse).
+        sharing_factor: average number of concurrently-resident blocks
+            touching the same data (1.0 = fully private footprints;
+            stencil halos and shared lookup tables push this above 1).
+    """
+
+    footprint_bytes: float
+    access_bytes: float
+    sharing_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.footprint_bytes <= 0:
+            raise ConfigurationError("footprint must be positive")
+        if self.access_bytes < self.footprint_bytes:
+            raise ConfigurationError(
+                "a block cannot access fewer bytes than its footprint"
+            )
+        if self.sharing_factor < 1.0:
+            raise ConfigurationError("sharing factor must be >= 1.0")
+
+    @property
+    def reuse(self) -> float:
+        """Accesses per unique byte (>= 1)."""
+        return self.access_bytes / self.footprint_bytes
+
+
+@dataclass(frozen=True)
+class L2Model:
+    """Capacity-based shared-L2 miss model.
+
+    Attributes:
+        size_bytes: usable L2 capacity.
+        ecc_overhead: fraction of capacity consumed by SECDED ECC bits
+            (NVIDIA carries ECC in-band on some parts; 0 disables).
+    """
+
+    size_bytes: int = 1 << 20
+    ecc_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigurationError("L2 size must be positive")
+        if not (0.0 <= self.ecc_overhead < 1.0):
+            raise ConfigurationError("ECC overhead must be in [0, 1)")
+
+    @property
+    def effective_size(self) -> float:
+        """Capacity left for data after ECC overhead."""
+        return self.size_bytes * (1.0 - self.ecc_overhead)
+
+    def miss_ratio(self, profile: AccessProfile,
+                   concurrent_blocks: int) -> float:
+        """Fraction of the block's accesses that reach DRAM.
+
+        The combined working set of ``concurrent_blocks`` resident blocks
+        is ``footprint * blocks / sharing``.  Fitting working sets pay
+        only cold misses (one per unique byte).  Oversubscribed working
+        sets lose reuse linearly with the overflow, degrading to
+        streaming (every access misses) at 2x oversubscription — a
+        standard capacity-model interpolation.
+        """
+        if concurrent_blocks < 1:
+            raise ConfigurationError("at least one resident block")
+        cold = 1.0 / profile.reuse
+        working_set = (
+            profile.footprint_bytes * concurrent_blocks
+            / profile.sharing_factor
+        )
+        capacity = self.effective_size
+        if working_set <= capacity:
+            return cold
+        oversubscription = working_set / capacity
+        if oversubscription >= 2.0:
+            return 1.0
+        # linear interpolation between cold-only and all-miss
+        blend = oversubscription - 1.0  # in (0, 1)
+        return cold + (1.0 - cold) * blend
+
+
+def derive_bytes_per_block(profile: AccessProfile, gpu: GPUConfig,
+                           kernel: KernelDescriptor,
+                           l2: Optional[L2Model] = None) -> float:
+    """DRAM bytes one block generates, given its profile and the L2.
+
+    Residency is taken at full occupancy (the worst case for capacity).
+    """
+    l2 = l2 or L2Model()
+    resident = min(
+        kernel.grid_blocks, blocks_per_sm(kernel, gpu.sm) * gpu.num_sms
+    )
+    return profile.access_bytes * l2.miss_ratio(profile, resident)
+
+
+def derive_kernel(kernel: KernelDescriptor, profile: AccessProfile,
+                  gpu: GPUConfig, l2: Optional[L2Model] = None
+                  ) -> KernelDescriptor:
+    """Return a copy of ``kernel`` with model-derived DRAM traffic.
+
+    Ties the memory substrate into the simulator: build the kernel with
+    its compute shape, describe its access behaviour, and let the L2
+    model set ``bytes_per_block``.
+    """
+    from dataclasses import replace
+
+    traffic = derive_bytes_per_block(profile, gpu, kernel, l2)
+    return replace(kernel, bytes_per_block=traffic)

@@ -1,0 +1,30 @@
+"""Kernel scheduling policies for the GPU simulator.
+
+Exports the scheduler interface, the three policies evaluated in the paper
+(default / SRRS / HALF) and the name-based registry.
+"""
+
+from repro.gpu.scheduler.base import KernelScheduler, SchedulerView
+from repro.gpu.scheduler.default import DefaultScheduler
+from repro.gpu.scheduler.half import HALFScheduler
+from repro.gpu.scheduler.registry import (
+    PAPER_POLICIES,
+    available_schedulers,
+    make_scheduler,
+    register_scheduler,
+)
+from repro.gpu.scheduler.srrs import SRRSScheduler
+from repro.gpu.scheduler.staggered import StaggeredScheduler
+
+__all__ = [
+    "KernelScheduler",
+    "SchedulerView",
+    "DefaultScheduler",
+    "SRRSScheduler",
+    "HALFScheduler",
+    "StaggeredScheduler",
+    "make_scheduler",
+    "register_scheduler",
+    "available_schedulers",
+    "PAPER_POLICIES",
+]

@@ -1,0 +1,119 @@
+"""SRRS — the paper's Start / Round-Robin / Serial scheduling policy.
+
+Section IV-B.1 of the paper defines SRRS by five requirements:
+
+1. a kernel does not start until the GPU is idle;
+2. the SM receiving the kernel's *first* thread block is selectable;
+3. subsequent SMs are allocated in round-robin order;
+4. redundant kernel execution is fully serialized (the second copy starts
+   only after the first finished);
+5. no further kernel executes until the second copy also finishes.
+
+With different starting SMs for the two copies, every thread block pair
+executes (a) on different SMs — the round-robin order is a pure rotation,
+so block *i* of copy *c* lands on SM ``(start_c + f(i)) mod n`` with the
+same ``f`` for both copies — and (b) at different times, because execution
+is serialized.  That is the paper's diverse redundancy by construction.
+
+Requirements 1, 4 and 5 are expressed here through :meth:`may_start`
+(idle + FIFO) combined with ``strict_fifo``; requirements 2 and 3 through
+:meth:`select_sm`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.scheduler.base import KernelScheduler, SchedulerView
+
+__all__ = ["SRRSScheduler"]
+
+
+class SRRSScheduler(KernelScheduler):
+    """Start / Round-Robin / Serial policy.
+
+    Args:
+        start_offset: SM-rotation applied per redundancy copy; copy ``c``
+            starts at SM ``(c * start_offset) mod num_sms``.  Diversity
+            requires the offset of distinct copies to differ modulo the SM
+            count, so ``start_offset`` must not be a multiple of
+            ``num_sms`` (checked at :meth:`reset` time).
+        base_sm: starting SM of copy 0 (default 0).
+    """
+
+    name = "srrs"
+    strict_fifo = True
+
+    def __init__(self, start_offset: int = 1, base_sm: int = 0) -> None:
+        super().__init__()
+        if start_offset <= 0:
+            raise ConfigurationError("SRRS start_offset must be >= 1")
+        if base_sm < 0:
+            raise ConfigurationError("SRRS base_sm must be >= 0")
+        self._start_offset = start_offset
+        self._base_sm = base_sm
+        self._rr_pointer: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def start_offset(self) -> int:
+        """Per-copy starting-SM rotation."""
+        return self._start_offset
+
+    def reset(self, gpu: GPUConfig) -> None:
+        """Bind to a GPU, validating the rotation yields distinct starts."""
+        super().reset(gpu)
+        if gpu.num_sms > 1 and self._start_offset % gpu.num_sms == 0:
+            raise ConfigurationError(
+                f"SRRS start_offset {self._start_offset} is a multiple of "
+                f"num_sms {gpu.num_sms}: redundant copies would start on "
+                "the same SM, defeating diversity"
+            )
+        if self._base_sm >= gpu.num_sms:
+            raise ConfigurationError(
+                f"SRRS base_sm {self._base_sm} out of range for "
+                f"{gpu.num_sms} SMs"
+            )
+        self._rr_pointer = {}
+
+    # ------------------------------------------------------------------
+    def start_sm(self, launch: KernelLaunch) -> int:
+        """Starting SM for a launch (requirement 2)."""
+        return (self._base_sm + launch.copy_id * self._start_offset) % self.gpu.num_sms
+
+    def may_start(self, launch: KernelLaunch, view: SchedulerView) -> bool:
+        """Admit only onto an idle GPU with no unfinished predecessor."""
+        return view.is_idle() and not view.incomplete_before(launch)
+
+    def on_kernel_start(self, launch: KernelLaunch, view: SchedulerView) -> None:
+        """Initialise the launch's round-robin pointer at its start SM."""
+        self._rr_pointer[launch.instance_id] = self.start_sm(launch)
+
+    def on_kernel_complete(self, launch: KernelLaunch, view: SchedulerView) -> None:
+        """Drop per-launch state."""
+        self._rr_pointer.pop(launch.instance_id, None)
+
+    def select_sm(self, launch: KernelLaunch, candidates: Sequence[int],
+                  view: SchedulerView) -> Optional[int]:
+        """Round-robin from the launch's pointer (requirement 3).
+
+        Scans SMs in rotation order starting at the pointer and picks the
+        first candidate; the pointer then advances past the chosen SM so
+        consecutive blocks sweep across SMs.
+        """
+        num_sms = self.gpu.num_sms
+        pointer = self._rr_pointer.get(launch.instance_id, self.start_sm(launch))
+        candidate_set = set(candidates)
+        for step in range(num_sms):
+            sm = (pointer + step) % num_sms
+            if sm in candidate_set:
+                self._rr_pointer[launch.instance_id] = (sm + 1) % num_sms
+                return sm
+        return None
+
+    def describe(self) -> str:
+        """One-line description including the rotation parameter."""
+        return f"srrs(start_offset={self._start_offset})"

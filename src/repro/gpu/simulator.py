@@ -1,0 +1,613 @@
+"""Coarse-grained discrete-event GPU timing simulator.
+
+This module is the reproduction's substitute for GPGPU-Sim (see DESIGN.md,
+Section 2).  It models execution at *thread-block* granularity with a fluid
+(processor-sharing) timing model:
+
+* every resident thread block holds SM resources (threads, registers,
+  shared memory, a block slot) from dispatch to completion and never
+  migrates — matching the paper's "each thread block is bound to a SM for
+  its entire execution";
+* a block's **compute** work drains at an equal share of its SM's issue
+  throughput (co-resident blocks time-multiplex the SM);
+* a block's **memory** traffic drains at an equal share of the GPU-wide
+  DRAM bandwidth, overlapped with compute (latency hiding);
+* a block completes when both its compute and memory work reach zero;
+* kernels arrive through a serial host dispatch path: consecutive launches
+  are separated by at least :attr:`GPUConfig.dispatch_latency` cycles —
+  the natural staggering of redundant kernels noted in Section IV-A;
+* launch-to-launch dependencies model in-stream ordering of multi-kernel
+  applications.
+
+The global kernel scheduler is pluggable (:mod:`repro.gpu.scheduler`); the
+simulator asks it for admission, SM masks and per-block SM selection, and
+*validates* every answer so that faulty/injected schedulers cannot corrupt
+simulator invariants silently.
+
+Rates change only at events (arrival, dimension completion, placement), so
+the simulation advances event-to-event with exact piecewise-linear
+progress integration; results are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import KernelDescriptor, KernelLaunch
+from repro.gpu.occupancy import occupancy_report
+from repro.gpu.scheduler.base import KernelScheduler
+from repro.gpu.trace import ExecutionTrace, KernelSpan, TBRecord
+
+__all__ = ["GPUSimulator", "SimulationResult", "simulate"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class _ResidentTB:
+    """Mutable state of one thread block resident on an SM."""
+
+    launch: KernelLaunch
+    tb_index: int
+    sm: int
+    start: float
+    compute_left: float
+    memory_left: float
+    compute_rate: float = 0.0
+    memory_rate: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        """True when both work dimensions are exhausted."""
+        return self.compute_left <= _EPS and self.memory_left <= _EPS
+
+
+@dataclass
+class _SMState:
+    """Mutable resource accounting of one SM."""
+
+    free_threads: int
+    free_registers: int
+    free_shared_memory: int
+    free_blocks: int
+    resident: List[_ResidentTB] = field(default_factory=list)
+
+    def fits(self, kernel: KernelDescriptor) -> bool:
+        """Whether one more block of ``kernel`` fits right now."""
+        return (
+            self.free_blocks >= 1
+            and self.free_threads >= kernel.threads_per_block
+            and self.free_registers
+            >= kernel.regs_per_thread * kernel.threads_per_block
+            and self.free_shared_memory >= kernel.shared_mem_per_block
+        )
+
+    def take(self, kernel: KernelDescriptor) -> None:
+        """Reserve resources for one block of ``kernel``."""
+        self.free_blocks -= 1
+        self.free_threads -= kernel.threads_per_block
+        self.free_registers -= kernel.regs_per_thread * kernel.threads_per_block
+        self.free_shared_memory -= kernel.shared_mem_per_block
+
+    def release(self, kernel: KernelDescriptor) -> None:
+        """Return resources of one completed block of ``kernel``."""
+        self.free_blocks += 1
+        self.free_threads += kernel.threads_per_block
+        self.free_registers += kernel.regs_per_thread * kernel.threads_per_block
+        self.free_shared_memory += kernel.shared_mem_per_block
+
+
+@dataclass
+class _LaunchState:
+    """Mutable per-launch bookkeeping."""
+
+    launch: KernelLaunch
+    remaining_deps: Set[int]
+    arrival: Optional[float] = None  # known once deps resolved + dispatch slot
+    started: bool = False
+    first_dispatch: Optional[float] = None
+    next_tb: int = 0
+    resident_count: int = 0
+    completed_tbs: int = 0
+    completion: Optional[float] = None
+
+    @property
+    def kernel(self) -> KernelDescriptor:
+        """Static descriptor of the launch."""
+        return self.launch.kernel
+
+    @property
+    def all_dispatched(self) -> bool:
+        """True when every block has been placed on some SM."""
+        return self.next_tb >= self.kernel.grid_blocks
+
+    @property
+    def complete(self) -> bool:
+        """True when every block has finished."""
+        return self.completion is not None
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulated workload.
+
+    Attributes:
+        trace: full execution trace (thread-block records, kernel spans).
+        makespan: completion time of the last thread block (cycles).
+        scheduler_name: ``describe()`` of the policy used.
+        gpu: the simulated GPU configuration.
+        events: number of discrete events processed (diagnostics).
+    """
+
+    trace: ExecutionTrace
+    makespan: float
+    scheduler_name: str
+    gpu: GPUConfig
+    events: int
+
+    def kernel_exec_cycles(self, instance_id: int) -> float:
+        """Pure execution time (first dispatch to completion) of a launch."""
+        return self.trace.span(instance_id).exec_time
+
+    def total_kernel_cycles(self) -> float:
+        """Sum of per-launch execution times (contention-inflated)."""
+        return sum(s.exec_time for s in self.trace.spans)
+
+
+class GPUSimulator:
+    """Discrete-event GPU simulator with a pluggable kernel scheduler.
+
+    A simulator instance is reusable: every :meth:`run` call resets all
+    mutable state (including the scheduler, via
+    :meth:`KernelScheduler.reset`).
+
+    Args:
+        gpu: hardware configuration.
+        scheduler: global kernel scheduling policy.
+        validate: when True (default) run trace consistency checks at the
+            end of each simulation; costs a few percent of run time.
+    """
+
+    def __init__(self, gpu: GPUConfig, scheduler: KernelScheduler,
+                 *, validate: bool = True) -> None:
+        self._gpu = gpu
+        self._scheduler = scheduler
+        self._validate = validate
+        # run-scoped state, initialised in run()
+        self._now = 0.0
+        self._sms: List[_SMState] = []
+        self._states: Dict[int, _LaunchState] = {}
+        self._order: List[int] = []  # instance ids in submission order
+        self._resident: List[_ResidentTB] = []
+        self._last_dispatch_time: Optional[float] = None
+        self._trace: Optional[ExecutionTrace] = None
+        self._events = 0
+
+    # ------------------------------------------------------------------
+    # SchedulerView protocol
+    # ------------------------------------------------------------------
+    @property
+    def gpu(self) -> GPUConfig:
+        """Simulated GPU configuration (SchedulerView)."""
+        return self._gpu
+
+    def resident_blocks(self, sm: int) -> int:
+        """Resident block count of one SM (SchedulerView)."""
+        return len(self._sms[sm].resident)
+
+    def resident_blocks_of(self, sm: int, instance_id: int) -> int:
+        """Resident blocks of a launch on one SM (SchedulerView)."""
+        return sum(
+            1
+            for tb in self._sms[sm].resident
+            if tb.launch.instance_id == instance_id
+        )
+
+    def is_idle(self) -> bool:
+        """True when no block is resident anywhere (SchedulerView)."""
+        return not self._resident
+
+    def incomplete_before(self, launch: KernelLaunch) -> bool:
+        """True when a launch submitted earlier has not completed
+        (SchedulerView)."""
+        for iid in self._order:
+            if iid == launch.instance_id:
+                return False
+            if not self._states[iid].complete:
+                return True
+        return False
+
+    def now(self) -> float:
+        """Current simulation time in cycles (SchedulerView)."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # main entry point
+    # ------------------------------------------------------------------
+    def run(self, launches: Sequence[KernelLaunch]) -> SimulationResult:
+        """Simulate a workload to completion.
+
+        Args:
+            launches: kernel launches in host submission order.  Instance
+                ids must be unique; dependencies must reference ids within
+                the workload and be acyclic (submission order is assumed to
+                be a valid topological order, as in a real command stream).
+
+        Returns:
+            A :class:`SimulationResult` with the full execution trace.
+
+        Raises:
+            ConfigurationError: malformed workload (duplicate ids, forward
+                dependencies).
+            CapacityError: some kernel can never fit on its allowed SMs.
+            SimulationError: internal inconsistency or scheduler deadlock.
+        """
+        self._reset(launches)
+        self._precheck(launches)
+
+        while True:
+            self._try_placement()
+            next_time = self._next_event_time()
+            if next_time is None:
+                break
+            if next_time < self._now - _EPS:
+                raise SimulationError(
+                    f"time would move backwards: {next_time} < {self._now}"
+                )
+            self._advance(max(next_time, self._now))
+            self._events += 1
+
+        self._check_all_complete()
+        trace = self._trace
+        assert trace is not None
+        if self._validate:
+            trace.validate()
+        return SimulationResult(
+            trace=trace,
+            makespan=trace.makespan,
+            scheduler_name=self._scheduler.describe(),
+            gpu=self._gpu,
+            events=self._events,
+        )
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def _reset(self, launches: Sequence[KernelLaunch]) -> None:
+        if not launches:
+            raise ConfigurationError("workload must contain >= 1 launch")
+        ids = [l.instance_id for l in launches]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("duplicate instance ids in workload")
+        id_set = set(ids)
+        seen: Set[int] = set()
+        for launch in launches:
+            for dep in launch.depends_on:
+                if dep not in id_set:
+                    raise ConfigurationError(
+                        f"launch {launch.instance_id} depends on unknown "
+                        f"instance {dep}"
+                    )
+                if dep not in seen:
+                    raise ConfigurationError(
+                        f"launch {launch.instance_id} depends on {dep}, "
+                        "which is submitted later (streams submit in order)"
+                    )
+            seen.add(launch.instance_id)
+
+        self._now = 0.0
+        self._events = 0
+        self._resident = []
+        self._last_dispatch_time = None
+        sm_cfg = self._gpu.sm
+        self._sms = [
+            _SMState(
+                free_threads=sm_cfg.max_threads,
+                free_registers=sm_cfg.registers,
+                free_shared_memory=sm_cfg.shared_memory,
+                free_blocks=sm_cfg.max_blocks,
+            )
+            for _ in self._gpu.sm_ids
+        ]
+        self._order = list(ids)
+        self._states = {
+            l.instance_id: _LaunchState(
+                launch=l, remaining_deps=set(l.depends_on)
+            )
+            for l in launches
+        }
+        self._trace = ExecutionTrace(self._gpu.num_sms)
+        self._scheduler.reset(self._gpu)
+        # resolve arrivals of dependency-free launches (in submission order,
+        # respecting the serial dispatch path)
+        for iid in self._order:
+            st = self._states[iid]
+            if not st.remaining_deps:
+                self._assign_arrival(st, ready_at=0.0)
+
+    def _precheck(self, launches: Sequence[KernelLaunch]) -> None:
+        """Fail fast when a kernel cannot fit on its allowed SMs."""
+        for launch in launches:
+            occupancy_report(launch.kernel, self._gpu.sm)  # raises CapacityError
+            allowed = self._scheduler.allowed_sms(launch)
+            if not allowed:
+                raise CapacityError(
+                    f"scheduler {self._scheduler.name!r} allows no SMs for "
+                    f"launch {launch.instance_id} ({launch.kernel.name})"
+                )
+            for sm in allowed:
+                if not (0 <= sm < self._gpu.num_sms):
+                    raise SchedulingError(
+                        f"scheduler allowed invalid SM {sm} for launch "
+                        f"{launch.instance_id}"
+                    )
+
+    def _assign_arrival(self, st: _LaunchState, ready_at: float) -> None:
+        """Compute a launch's arrival time through the serial dispatch path."""
+        ready = ready_at + st.launch.arrival_offset
+        if self._last_dispatch_time is None:
+            arrival = ready
+        else:
+            arrival = max(ready, self._last_dispatch_time + self._gpu.dispatch_latency)
+        st.arrival = arrival
+        self._last_dispatch_time = arrival
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def _candidate_sms(self, launch: KernelLaunch) -> List[int]:
+        """SMs with capacity for one more block of ``launch``, within the
+        scheduler's mask and the kernel-mixing rule."""
+        allowed = self._scheduler.allowed_sms(launch)
+        candidates = []
+        for sm in allowed:
+            state = self._sms[sm]
+            if not state.fits(launch.kernel):
+                continue
+            if not self._gpu.allow_kernel_mixing:
+                if any(
+                    tb.launch.instance_id != launch.instance_id
+                    for tb in state.resident
+                ):
+                    continue
+            candidates.append(sm)
+        return sorted(candidates)
+
+    def _try_placement(self) -> None:
+        """Dispatch thread blocks of arrived launches until no progress."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for iid in self._order:
+                st = self._states[iid]
+                if st.complete:
+                    continue
+                if st.arrival is None or st.arrival > self._now + _EPS:
+                    if self._scheduler.strict_fifo:
+                        # nothing behind an unfinished head may proceed
+                        break
+                    continue
+                if not st.all_dispatched:
+                    if not st.started:
+                        if not self._scheduler.may_start(st.launch, self):
+                            if self._scheduler.strict_fifo:
+                                break
+                            continue
+                        self._scheduler.on_kernel_start(st.launch, self)
+                        st.started = True
+                    progressed |= self._dispatch_blocks(st)
+                if self._scheduler.strict_fifo and not st.complete:
+                    break
+
+    def _dispatch_blocks(self, st: _LaunchState) -> bool:
+        """Place as many blocks of one launch as capacity permits."""
+        placed_any = False
+        while not st.all_dispatched:
+            candidates = self._candidate_sms(st.launch)
+            if not candidates:
+                break
+            sm = self._scheduler.select_sm(st.launch, candidates, self)
+            if sm is None:
+                break
+            if sm not in candidates:
+                raise SchedulingError(
+                    f"scheduler {self._scheduler.name!r} selected SM {sm} "
+                    f"outside candidates {candidates} for launch "
+                    f"{st.launch.instance_id}"
+                )
+            self._place_tb(st, sm)
+            placed_any = True
+        return placed_any
+
+    def _place_tb(self, st: _LaunchState, sm: int) -> None:
+        kernel = st.kernel
+        self._sms[sm].take(kernel)
+        tb = _ResidentTB(
+            launch=st.launch,
+            tb_index=st.next_tb,
+            sm=sm,
+            start=self._now,
+            compute_left=float(kernel.work_per_block),
+            memory_left=float(kernel.bytes_per_block),
+        )
+        st.next_tb += 1
+        st.resident_count += 1
+        if st.first_dispatch is None:
+            st.first_dispatch = self._now
+        self._sms[sm].resident.append(tb)
+        self._resident.append(tb)
+
+    # ------------------------------------------------------------------
+    # fluid timing
+    # ------------------------------------------------------------------
+    def _recompute_rates(self) -> None:
+        """Assign processor-sharing rates to every resident block."""
+        mem_active = sum(1 for tb in self._resident if tb.memory_left > _EPS)
+        mem_rate = (
+            self._gpu.dram_bandwidth / mem_active if mem_active else 0.0
+        )
+        for sm_state in self._sms:
+            compute_active = sum(
+                1 for tb in sm_state.resident if tb.compute_left > _EPS
+            )
+            share = (
+                self._gpu.sm.issue_throughput / compute_active
+                if compute_active
+                else 0.0
+            )
+            for tb in sm_state.resident:
+                tb.compute_rate = share if tb.compute_left > _EPS else 0.0
+                tb.memory_rate = mem_rate if tb.memory_left > _EPS else 0.0
+
+    def _next_event_time(self) -> Optional[float]:
+        """Earliest upcoming event: a work-dimension completion or an
+        arrival.  ``None`` when the workload is fully drained."""
+        self._recompute_rates()
+        candidate: Optional[float] = None
+
+        for tb in self._resident:
+            if tb.compute_left > _EPS and tb.compute_rate > 0:
+                t = self._now + tb.compute_left / tb.compute_rate
+                candidate = t if candidate is None else min(candidate, t)
+            if tb.memory_left > _EPS and tb.memory_rate > 0:
+                t = self._now + tb.memory_left / tb.memory_rate
+                candidate = t if candidate is None else min(candidate, t)
+
+        future_arrival: Optional[float] = None
+        pending_work = False
+        for st in self._states.values():
+            if st.complete:
+                continue
+            pending_work = True
+            if st.arrival is not None and st.arrival > self._now + _EPS:
+                future_arrival = (
+                    st.arrival
+                    if future_arrival is None
+                    else min(future_arrival, st.arrival)
+                )
+            elif st.arrival is not None and not st.started:
+                # arrived but admission-blocked: time-gated policies
+                # (e.g. enforced stagger) expose their retry time
+                retry = self._scheduler.earliest_start(st.launch, self)
+                if retry is not None and retry > self._now + _EPS:
+                    future_arrival = (
+                        retry
+                        if future_arrival is None
+                        else min(future_arrival, retry)
+                    )
+        if future_arrival is not None:
+            candidate = (
+                future_arrival
+                if candidate is None
+                else min(candidate, future_arrival)
+            )
+
+        if candidate is None and pending_work:
+            self._diagnose_deadlock()
+        return candidate
+
+    def _diagnose_deadlock(self) -> None:
+        """Raise a descriptive error when work exists but nothing can run."""
+        stuck = [
+            f"{st.launch.instance_id}({st.kernel.name}: "
+            f"dispatched {st.next_tb}/{st.kernel.grid_blocks}, "
+            f"resident {st.resident_count}, arrival {st.arrival})"
+            for st in self._states.values()
+            if not st.complete
+        ]
+        raise SimulationError(
+            "scheduler deadlock: no resident work, no future arrivals, but "
+            "incomplete launches remain: " + "; ".join(sorted(stuck))
+        )
+
+    def _advance(self, t_next: float) -> None:
+        """Integrate progress to ``t_next`` and process completions."""
+        dt = t_next - self._now
+        if dt > 0:
+            for tb in self._resident:
+                if tb.compute_rate > 0:
+                    tb.compute_left = max(0.0, tb.compute_left - tb.compute_rate * dt)
+                if tb.memory_rate > 0:
+                    tb.memory_left = max(0.0, tb.memory_left - tb.memory_rate * dt)
+        self._now = t_next
+
+        finished = [tb for tb in self._resident if tb.done]
+        for tb in finished:
+            self._complete_tb(tb)
+
+    def _complete_tb(self, tb: _ResidentTB) -> None:
+        st = self._states[tb.launch.instance_id]
+        self._sms[tb.sm].release(st.kernel)
+        self._sms[tb.sm].resident.remove(tb)
+        self._resident.remove(tb)
+        st.resident_count -= 1
+        st.completed_tbs += 1
+        assert self._trace is not None
+        self._trace.add_tb(
+            TBRecord(
+                instance_id=tb.launch.instance_id,
+                logical_id=tb.launch.logical_id or 0,
+                copy_id=tb.launch.copy_id,
+                tb_index=tb.tb_index,
+                sm=tb.sm,
+                start=tb.start,
+                end=self._now,
+                tag=tb.launch.tag,
+            )
+        )
+        if st.all_dispatched and st.resident_count == 0:
+            self._complete_launch(st)
+
+    def _complete_launch(self, st: _LaunchState) -> None:
+        st.completion = self._now
+        assert st.first_dispatch is not None and st.arrival is not None
+        assert self._trace is not None
+        self._trace.add_span(
+            KernelSpan(
+                instance_id=st.launch.instance_id,
+                logical_id=st.launch.logical_id or 0,
+                copy_id=st.launch.copy_id,
+                kernel_name=st.kernel.name,
+                arrival=st.arrival,
+                first_dispatch=st.first_dispatch,
+                completion=st.completion,
+                tag=st.launch.tag,
+            )
+        )
+        self._scheduler.on_kernel_complete(st.launch, self)
+        # resolve dependents
+        for iid in self._order:
+            dep_st = self._states[iid]
+            if st.launch.instance_id in dep_st.remaining_deps:
+                dep_st.remaining_deps.discard(st.launch.instance_id)
+                if not dep_st.remaining_deps and dep_st.arrival is None:
+                    self._assign_arrival(dep_st, ready_at=self._now)
+
+    def _check_all_complete(self) -> None:
+        leftovers = [
+            iid for iid, st in self._states.items() if not st.complete
+        ]
+        if leftovers:
+            raise SimulationError(
+                f"simulation ended with incomplete launches: {sorted(leftovers)}"
+            )
+
+
+def simulate(gpu: GPUConfig, scheduler: KernelScheduler,
+             launches: Sequence[KernelLaunch], *,
+             validate: bool = True) -> SimulationResult:
+    """Convenience one-shot simulation wrapper.
+
+    Equivalent to ``GPUSimulator(gpu, scheduler, validate=validate)
+    .run(launches)``.
+    """
+    return GPUSimulator(gpu, scheduler, validate=validate).run(launches)

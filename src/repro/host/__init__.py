@@ -1,0 +1,17 @@
+"""Host-side models: the DCLS lockstep CPU, a CUDA-like API and the
+five-step safety-critical offload protocol."""
+
+from repro.host.api import DeviceBuffer, GPUContext
+from repro.host.cpu import DCLSConfig, DCLSProcessor, HostOp, LockstepError
+from repro.host.pipeline import OffloadResult, SafetyCriticalOffload
+
+__all__ = [
+    "DeviceBuffer",
+    "GPUContext",
+    "DCLSConfig",
+    "DCLSProcessor",
+    "HostOp",
+    "LockstepError",
+    "OffloadResult",
+    "SafetyCriticalOffload",
+]

@@ -1,0 +1,214 @@
+"""CUDA-like host API over the simulated GPU.
+
+Lets example applications be written like CUDA host code — allocate,
+copy, launch, synchronize — while everything executes on the
+:mod:`repro.gpu` simulator and the :mod:`repro.host.cpu` DCLS model.  The
+API keeps a millisecond host clock: host operations advance it by their
+modelled cost, and ``synchronize()`` runs the accumulated launches
+through the simulator and advances the clock by the GPU busy time.
+
+This is the substrate behind the high-level
+:class:`~repro.host.pipeline.SafetyCriticalOffload` helper and the
+example applications.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, RedundancyError
+from repro.gpu.config import GPUConfig
+from repro.gpu.cots import COTSDevice
+from repro.gpu.kernel import KernelDescriptor, KernelLaunch
+from repro.gpu.scheduler.base import KernelScheduler
+from repro.gpu.scheduler.registry import make_scheduler
+from repro.gpu.simulator import GPUSimulator, SimulationResult
+from repro.host.cpu import DCLSProcessor, HostOp
+
+__all__ = ["DeviceBuffer", "GPUContext"]
+
+
+@dataclass(frozen=True)
+class DeviceBuffer:
+    """A device allocation.
+
+    Attributes:
+        buffer_id: unique handle.
+        nbytes: size in bytes.
+        label: debugging label.
+    """
+
+    buffer_id: int
+    nbytes: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ConfigurationError("buffer size must be positive")
+
+
+class GPUContext:
+    """A CUDA-context-like session against the simulated GPU.
+
+    Args:
+        gpu: GPU configuration.
+        policy: kernel-scheduler name or instance.
+        device: host/transfer cost parameters.
+        dcls: lockstep processor executing the host side (a fresh default
+            one when omitted).
+
+    Example::
+
+        ctx = GPUContext(GPUConfig.gpgpusim_like(), policy="srrs")
+        buf = ctx.malloc(1 << 20, "frame")
+        ctx.memcpy_h2d(buf)
+        ctx.launch(kernel, copy_id=0, logical_id=0)
+        ctx.launch(kernel, copy_id=1, logical_id=0)
+        result = ctx.synchronize()
+    """
+
+    def __init__(self, gpu: GPUConfig,
+                 policy: str | KernelScheduler = "default", *,
+                 device: Optional[COTSDevice] = None,
+                 dcls: Optional[DCLSProcessor] = None) -> None:
+        self._gpu = gpu
+        self._scheduler = (
+            make_scheduler(policy) if isinstance(policy, str) else policy
+        )
+        self._device = device or COTSDevice()
+        self._dcls = dcls or DCLSProcessor()
+        self._buffer_ids = itertools.count(1)
+        self._instance_ids = itertools.count(0)
+        self._buffers: Dict[int, DeviceBuffer] = {}
+        self._pending: List[KernelLaunch] = []
+        self._stream_tail: Dict[int, int] = {}
+        self._clock_ms = 0.0
+        self._last_result: Optional[SimulationResult] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def gpu(self) -> GPUConfig:
+        """The GPU configuration."""
+        return self._gpu
+
+    @property
+    def dcls(self) -> DCLSProcessor:
+        """The lockstep host processor."""
+        return self._dcls
+
+    @property
+    def clock_ms(self) -> float:
+        """Host wall-clock of the session (milliseconds)."""
+        return self._clock_ms
+
+    @property
+    def last_result(self) -> Optional[SimulationResult]:
+        """Simulation result of the most recent :meth:`synchronize`."""
+        return self._last_result
+
+    # ------------------------------------------------------------------
+    # protocol steps 1-2: allocate & transfer (on the DCLS cores)
+    # ------------------------------------------------------------------
+    def malloc(self, nbytes: int, label: str = "") -> DeviceBuffer:
+        """Allocate device memory (protocol step 1)."""
+        buf = DeviceBuffer(
+            buffer_id=next(self._buffer_ids), nbytes=nbytes, label=label
+        )
+        self._buffers[buf.buffer_id] = buf
+        self._host_op("cudaMalloc", (buf.buffer_id,), self._device.alloc_ms)
+        return buf
+
+    def free(self, buf: DeviceBuffer) -> None:
+        """Release a device allocation."""
+        if buf.buffer_id not in self._buffers:
+            raise ConfigurationError(f"unknown or already-freed buffer {buf}")
+        del self._buffers[buf.buffer_id]
+        self._host_op("cudaFree", (buf.buffer_id,), 0.0)
+
+    def memcpy_h2d(self, buf: DeviceBuffer, nbytes: Optional[int] = None) -> None:
+        """Host-to-device transfer (protocol step 2)."""
+        self._check_buffer(buf, nbytes)
+        n = nbytes if nbytes is not None else buf.nbytes
+        self._host_op(
+            "cudaMemcpyH2D", (buf.buffer_id, n),
+            self._device.transfer_ms(n / 1e6, self._device.h2d_gbps),
+        )
+
+    def memcpy_d2h(self, buf: DeviceBuffer, nbytes: Optional[int] = None) -> None:
+        """Device-to-host transfer (protocol step 4, collect results)."""
+        self._check_buffer(buf, nbytes)
+        n = nbytes if nbytes is not None else buf.nbytes
+        self._host_op(
+            "cudaMemcpyD2H", (buf.buffer_id, n),
+            self._device.transfer_ms(n / 1e6, self._device.d2h_gbps),
+        )
+
+    def _check_buffer(self, buf: DeviceBuffer, nbytes: Optional[int]) -> None:
+        if buf.buffer_id not in self._buffers:
+            raise ConfigurationError(f"buffer {buf.buffer_id} is not allocated")
+        if nbytes is not None and nbytes > buf.nbytes:
+            raise ConfigurationError(
+                f"transfer of {nbytes} B exceeds buffer of {buf.nbytes} B"
+            )
+
+    def _host_op(self, name: str, payload: Tuple, duration_ms: float) -> None:
+        self._dcls.execute(HostOp(name=name, payload=payload,
+                                  duration_ms=duration_ms))
+        self._clock_ms += duration_ms
+
+    # ------------------------------------------------------------------
+    # protocol step 3: launches
+    # ------------------------------------------------------------------
+    def launch(self, kernel: KernelDescriptor, *, stream: int = 0,
+               copy_id: int = 0, logical_id: Optional[int] = None,
+               tag: str = "") -> int:
+        """Enqueue a kernel launch on a stream (protocol step 3).
+
+        Launches on the same stream are ordered (each depends on the
+        stream's previous launch); streams are independent.
+
+        Returns:
+            The launch's instance id (for trace lookups after sync).
+        """
+        iid = next(self._instance_ids)
+        deps: Tuple[int, ...] = ()
+        if stream in self._stream_tail:
+            deps = (self._stream_tail[stream],)
+        self._pending.append(
+            KernelLaunch(
+                kernel=kernel,
+                instance_id=iid,
+                copy_id=copy_id,
+                depends_on=deps,
+                logical_id=logical_id if logical_id is not None else iid,
+                tag=tag,
+            )
+        )
+        self._stream_tail[stream] = iid
+        self._host_op("cudaLaunchKernel", (kernel.name, iid),
+                      self._device.launch_overhead_ms)
+        return iid
+
+    def synchronize(self) -> SimulationResult:
+        """Run all enqueued launches to completion (cudaDeviceSynchronize).
+
+        Advances the host clock by the GPU's busy time and clears the
+        pending queue and stream ordering.
+
+        Raises:
+            RedundancyError: when called with no pending launches — in a
+                real program this is legal, but in the model it almost
+                always indicates a protocol bug, so it is loud.
+        """
+        if not self._pending:
+            raise RedundancyError("synchronize() with no pending launches")
+        sim = GPUSimulator(self._gpu, self._scheduler).run(self._pending)
+        self._pending = []
+        self._stream_tail = {}
+        self._last_result = sim
+        busy_ms = self._gpu.cycles_to_ms(sim.trace.busy_cycles)
+        self._host_op("cudaDeviceSynchronize", ("sync",),
+                      busy_ms + self._device.sync_overhead_ms)
+        return sim

@@ -1,0 +1,191 @@
+"""DCLS (dual-core lockstep) host CPU model.
+
+The paper's system architecture (Section IV-A) keeps all orchestration on
+an ASIL-D-capable microcontroller whose cores run in *diverse lockstep*:
+both cores execute the same instruction stream with a temporal stagger,
+and a hardware checker compares their outputs, so a common-cause fault
+cannot corrupt both identically.  All five protocol steps — allocate,
+transfer, launch, collect, compare — execute on these cores and are
+"naturally protected against CCFs".
+
+This model provides:
+
+* :class:`DCLSConfig` — stagger, checker latency, compare throughput;
+* :class:`DCLSProcessor` — executes *operations* (abstract host work) on
+  the lockstep pair, with fault hooks per core; disagreement between the
+  cores raises a detected lockstep error (never a silent one, because the
+  stagger provides the diversity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.iso26262.asil import Asil
+
+__all__ = ["DCLSConfig", "LockstepError", "DCLSProcessor", "HostOp"]
+
+
+class LockstepError(Exception):
+    """The lockstep checker observed diverging core outputs.
+
+    This is a *detected* error by construction — raising it models the
+    hardware checker firing, after which the system resets/retries within
+    the FTTI.  It deliberately does not derive from
+    :class:`~repro.errors.ReproError`: it represents a modelled hardware
+    event, not a library misuse.
+    """
+
+
+@dataclass(frozen=True)
+class DCLSConfig:
+    """Parameters of the lockstep pair.
+
+    Attributes:
+        stagger_cycles: temporal offset between the two cores (diversity
+            against transient CCFs); must be positive.
+        compare_mbps: throughput of the software output comparison
+            (step 5 of the protocol), in MB/s.
+        checker_latency_cycles: cycles the hardware checker needs to flag
+            a divergence.
+        asil: integrity level the DCLS pair is certified to (ASIL-D for
+            the platforms the paper considers).
+    """
+
+    stagger_cycles: int = 2
+    compare_mbps: float = 4000.0
+    checker_latency_cycles: int = 3
+    asil: Asil = Asil.D
+
+    def __post_init__(self) -> None:
+        if self.stagger_cycles <= 0:
+            raise ConfigurationError(
+                "lockstep stagger must be positive (it *is* the diversity)"
+            )
+        if self.compare_mbps <= 0:
+            raise ConfigurationError("compare throughput must be positive")
+        if self.checker_latency_cycles < 0:
+            raise ConfigurationError("checker latency cannot be negative")
+
+
+@dataclass(frozen=True)
+class HostOp:
+    """One abstract host-side operation executed on the DCLS pair.
+
+    Attributes:
+        name: operation label (``"alloc"``, ``"memcpy_h2d"``, ...).
+        payload: operation input (compared across cores).
+        duration_ms: modelled execution time.
+    """
+
+    name: str
+    payload: Tuple
+    duration_ms: float = 0.0
+
+
+class DCLSProcessor:
+    """Executes host operations redundantly on a lockstep core pair.
+
+    Fault hooks allow tests to corrupt the *output of one core* (or both,
+    differently or identically); the checker detects any divergence.  An
+    identical corruption of both cores would require the same fault to hit
+    both despite the stagger — the DCLS design premise excludes this for
+    single faults, and the model enforces it by only offering per-core
+    hooks.
+
+    Args:
+        config: lockstep parameters.
+    """
+
+    def __init__(self, config: Optional[DCLSConfig] = None) -> None:
+        self._config = config or DCLSConfig()
+        self._log: List[str] = []
+        self._fault_core_a: Optional[Callable[[HostOp], Tuple]] = None
+        self._fault_core_b: Optional[Callable[[HostOp], Tuple]] = None
+        self._elapsed_ms = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> DCLSConfig:
+        """Lockstep configuration."""
+        return self._config
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Accumulated host execution time."""
+        return self._elapsed_ms
+
+    @property
+    def log(self) -> Tuple[str, ...]:
+        """Executed-operation log (for tests and examples)."""
+        return tuple(self._log)
+
+    def inject_core_fault(self, core: str,
+                          effect: Callable[[HostOp], Tuple]) -> None:
+        """Attach a fault hook corrupting one core's result.
+
+        Args:
+            core: ``"A"`` or ``"B"``.
+            effect: maps the operation to the corrupted result.
+        """
+        if core == "A":
+            self._fault_core_a = effect
+        elif core == "B":
+            self._fault_core_b = effect
+        else:
+            raise ConfigurationError(f"unknown lockstep core {core!r}")
+
+    def clear_faults(self) -> None:
+        """Remove all fault hooks."""
+        self._fault_core_a = None
+        self._fault_core_b = None
+
+    # ------------------------------------------------------------------
+    def execute(self, op: HostOp) -> Tuple:
+        """Run one operation on both cores and check the outputs.
+
+        Returns:
+            The (agreed) operation result: by default the payload itself —
+            the model cares about agreement, not computation.
+
+        Raises:
+            LockstepError: when the checker sees the cores diverge.
+        """
+        result_a = (
+            self._fault_core_a(op) if self._fault_core_a else op.payload
+        )
+        result_b = (
+            self._fault_core_b(op) if self._fault_core_b else op.payload
+        )
+        self._elapsed_ms += op.duration_ms
+        self._log.append(op.name)
+        if result_a != result_b:
+            raise LockstepError(
+                f"lockstep divergence in {op.name!r}: cores disagree "
+                f"(detected after {self._config.checker_latency_cycles} cycles)"
+            )
+        return result_a
+
+    def compare_outputs(self, output_a: Tuple, output_b: Tuple,
+                        nbytes: int) -> bool:
+        """Step 5 of the protocol: compare two GPU result buffers.
+
+        Executed redundantly on both lockstep cores like any host op.
+
+        Args:
+            output_a / output_b: abstract output signatures.
+            nbytes: buffer size, setting the comparison duration.
+
+        Returns:
+            True when the buffers match.
+        """
+        duration = nbytes / (self._config.compare_mbps * 1e6) * 1e3
+        op = HostOp(
+            name="compare_outputs",
+            payload=(output_a == output_b,),
+            duration_ms=duration,
+        )
+        (match,) = self.execute(op)
+        return bool(match)

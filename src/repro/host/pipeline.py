@@ -1,0 +1,164 @@
+"""The complete safety-critical offload protocol (paper Section IV-A).
+
+:class:`SafetyCriticalOffload` performs the paper's five steps end to end
+on top of the CUDA-like :class:`~repro.host.api.GPUContext`:
+
+1. allocate GPU memory for both redundant kernels,
+2. transfer input data (once per copy — separate buffers),
+3. launch the redundant kernels,
+4. collect results from both kernels back to the CPU,
+5. compare their outcomes on the DCLS cores.
+
+The result carries the host wall-clock cost of each step, the DCLS
+comparison verdicts and the diversity report, so examples and benches can
+show both the *safety* outcome and the *performance* price of a chosen
+scheduling policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import RedundancyError
+from repro.gpu.config import GPUConfig
+from repro.gpu.cots import COTSDevice
+from repro.gpu.kernel import KernelDescriptor
+from repro.gpu.scheduler.base import KernelScheduler
+from repro.host.api import DeviceBuffer, GPUContext
+from repro.redundancy.comparison import (
+    ComparisonResult,
+    build_signature,
+    compare_signatures,
+)
+from repro.redundancy.diversity import DiversityReport, analyze_diversity
+
+__all__ = ["OffloadResult", "SafetyCriticalOffload"]
+
+
+@dataclass(frozen=True)
+class OffloadResult:
+    """Outcome of one five-step redundant offload.
+
+    Attributes:
+        comparisons: DCLS verdict per logical kernel.
+        diversity: measured diversity between copies 0 and 1.
+        elapsed_ms: host wall-clock of the whole protocol.
+        gpu_busy_ms: GPU-active share of the elapsed time.
+        detected_mismatch: True when step 5 flagged any disagreement.
+    """
+
+    comparisons: Tuple[ComparisonResult, ...]
+    diversity: DiversityReport
+    elapsed_ms: float
+    gpu_busy_ms: float
+    detected_mismatch: bool
+
+
+class SafetyCriticalOffload:
+    """Drives redundant kernel offloads through a :class:`GPUContext`.
+
+    Args:
+        gpu: GPU configuration.
+        policy: scheduling policy (name or instance) — per the paper this
+            is chosen per kernel during the analysis phase.
+        copies: redundancy degree.
+        device: host-cost parameters.
+    """
+
+    def __init__(self, gpu: GPUConfig,
+                 policy: Union[str, KernelScheduler] = "srrs", *,
+                 copies: int = 2,
+                 device: Optional[COTSDevice] = None) -> None:
+        if copies < 2:
+            raise RedundancyError("offload protocol requires >= 2 copies")
+        self._copies = copies
+        self._ctx = GPUContext(gpu, policy, device=device)
+
+    # ------------------------------------------------------------------
+    @property
+    def context(self) -> GPUContext:
+        """The underlying CUDA-like context."""
+        return self._ctx
+
+    @property
+    def copies(self) -> int:
+        """Redundancy degree."""
+        return self._copies
+
+    # ------------------------------------------------------------------
+    def run(self, kernels: Sequence[KernelDescriptor], *, tag: str = "",
+            corruption: Optional[Mapping[Tuple[int, int], Tuple]] = None
+            ) -> OffloadResult:
+        """Execute one redundant offload of a kernel chain.
+
+        Args:
+            kernels: the application's kernel chain.
+            tag: label for traces.
+            corruption: optional fault-effect map (see
+                :mod:`repro.faults`) applied before the comparison.
+
+        Returns:
+            The :class:`OffloadResult`.
+        """
+        ctx = self._ctx
+        start_ms = ctx.clock_ms
+
+        # step 1: allocate per-copy input/output buffers
+        in_bytes = max(k.input_bytes for k in kernels)
+        out_bytes = max(k.output_bytes for k in kernels)
+        in_bufs: List[DeviceBuffer] = []
+        out_bufs: List[DeviceBuffer] = []
+        for c in range(self._copies):
+            in_bufs.append(ctx.malloc(in_bytes, f"{tag}/in{c}"))
+            out_bufs.append(ctx.malloc(out_bytes, f"{tag}/out{c}"))
+
+        # step 2: transfer inputs (physically, once per copy)
+        for buf in in_bufs:
+            ctx.memcpy_h2d(buf)
+
+        # step 3: launch the redundant kernels (interleaved per kernel,
+        # one stream per copy so chains stay ordered)
+        launch_ids: Dict[Tuple[int, int], int] = {}
+        for logical, kd in enumerate(kernels):
+            for c in range(self._copies):
+                iid = ctx.launch(
+                    kd, stream=c, copy_id=c, logical_id=logical, tag=tag
+                )
+                launch_ids[(logical, c)] = iid
+        sim = ctx.synchronize()
+
+        # step 4: collect both result buffers
+        for buf in out_bufs:
+            ctx.memcpy_d2h(buf)
+
+        # step 5: compare outcomes on the DCLS cores
+        comparisons: List[ComparisonResult] = []
+        detected = False
+        for logical in range(len(kernels)):
+            signatures = [
+                build_signature(sim.trace, launch_ids[(logical, c)], corruption)
+                for c in range(self._copies)
+            ]
+            comparison = compare_signatures(signatures)
+            comparisons.append(comparison)
+            match = ctx.dcls.compare_outputs(
+                signatures[0].tokens, signatures[1].tokens, out_bytes
+            )
+            detected = detected or not match or comparison.error_detected
+
+        for buf in in_bufs + out_bufs:
+            ctx.free(buf)
+
+        work_hint = max(k.work_per_block for k in kernels)
+        diversity = analyze_diversity(
+            sim.trace, copy_a=0, copy_b=1, work_per_block=work_hint
+        )
+        gpu_busy_ms = ctx.gpu.cycles_to_ms(sim.trace.busy_cycles)
+        return OffloadResult(
+            comparisons=tuple(comparisons),
+            diversity=diversity,
+            elapsed_ms=ctx.clock_ms - start_ms,
+            gpu_busy_ms=gpu_busy_ms,
+            detected_mismatch=detected,
+        )

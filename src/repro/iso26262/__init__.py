@@ -1,0 +1,75 @@
+"""Executable ISO 26262 model (Section II of the paper).
+
+Subpackages: ASIL lattice (:mod:`~repro.iso26262.asil`), decomposition
+rules (:mod:`~repro.iso26262.decomposition`), fault taxonomy and FTTI
+(:mod:`~repro.iso26262.fault_model`), hardware architectural metrics
+(:mod:`~repro.iso26262.metrics`) and the safety-case checker
+(:mod:`~repro.iso26262.safety_case`).
+"""
+
+from repro.iso26262.asil import Asil, as_asil
+from repro.iso26262.decomposition import (
+    FIGURE1_EXAMPLES,
+    DecompositionNode,
+    DecompositionRule,
+    check_decomposition,
+    valid_decompositions,
+)
+from repro.iso26262.fault_model import (
+    AGING_DEFECT,
+    CLOCK_GLITCH,
+    SEU,
+    STUCK_AT,
+    VOLTAGE_DROOP,
+    FaultClass,
+    FaultHandlingTimeline,
+    FaultPersistence,
+    FaultScope,
+    Ftti,
+)
+from repro.iso26262.metrics import (
+    TARGETS,
+    FailureRateBudget,
+    HardwareMetrics,
+    MetricTargets,
+    coverage_from_campaign,
+)
+from repro.iso26262.safety_case import (
+    SafetyGoal,
+    SafetyMechanism,
+    SafetyRequirement,
+    SystemElement,
+    check_requirement,
+    check_system,
+)
+
+__all__ = [
+    "Asil",
+    "as_asil",
+    "DecompositionRule",
+    "DecompositionNode",
+    "valid_decompositions",
+    "check_decomposition",
+    "FIGURE1_EXAMPLES",
+    "FaultClass",
+    "FaultPersistence",
+    "FaultScope",
+    "Ftti",
+    "FaultHandlingTimeline",
+    "SEU",
+    "VOLTAGE_DROOP",
+    "CLOCK_GLITCH",
+    "STUCK_AT",
+    "AGING_DEFECT",
+    "MetricTargets",
+    "TARGETS",
+    "FailureRateBudget",
+    "HardwareMetrics",
+    "coverage_from_campaign",
+    "SafetyMechanism",
+    "SystemElement",
+    "SafetyGoal",
+    "SafetyRequirement",
+    "check_requirement",
+    "check_system",
+]

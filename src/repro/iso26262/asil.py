@@ -1,0 +1,116 @@
+"""Automotive Safety Integrity Levels (ASIL) — ISO 26262 part 9 model.
+
+ISO 26262 ranks safety-related functionality from ASIL A (lowest) to
+ASIL D (highest); non-safety-related elements are *QM* (Quality Managed).
+The paper's Section II summarises the scheme and Figure 1 shows how a
+target ASIL can be *decomposed* onto redundant lower-ASIL elements.
+
+This module provides the level lattice itself.  Levels are ordered
+(``QM < A < B < C < D``) and carry a small integer :attr:`Asil.rank` used
+by the decomposition arithmetic ("ASIL levels can be added as long as
+components provide independent redundancy": rank(A)+rank(B) == rank(C),
+rank(B)+rank(B) == rank(D), ...).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Asil", "as_asil"]
+
+
+class Asil(enum.Enum):
+    """Safety integrity level, ordered ``QM < A < B < C < D``."""
+
+    QM = 0
+    A = 1
+    B = 2
+    C = 3
+    D = 4
+
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """Integer rank used by decomposition addition (QM=0 .. D=4)."""
+        return self.value
+
+    @property
+    def is_safety_related(self) -> bool:
+        """True for ASIL A-D, False for QM."""
+        return self is not Asil.QM
+
+    # ------------------------------------------------------------------
+    # ordering
+    # ------------------------------------------------------------------
+    def __lt__(self, other: "Asil") -> bool:
+        if not isinstance(other, Asil):
+            return NotImplemented
+        return self.value < other.value
+
+    def __le__(self, other: "Asil") -> bool:
+        if not isinstance(other, Asil):
+            return NotImplemented
+        return self.value <= other.value
+
+    def __gt__(self, other: "Asil") -> bool:
+        if not isinstance(other, Asil):
+            return NotImplemented
+        return self.value > other.value
+
+    def __ge__(self, other: "Asil") -> bool:
+        if not isinstance(other, Asil):
+            return NotImplemented
+        return self.value >= other.value
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rank(cls, rank: int) -> "Asil":
+        """Level with the given rank; ranks above D saturate at D.
+
+        Decomposition arithmetic can exceed rank 4 (e.g. C+C); ISO 26262
+        has no level above D, so sums saturate.
+
+        Raises:
+            ConfigurationError: for negative ranks.
+        """
+        if rank < 0:
+            raise ConfigurationError(f"invalid ASIL rank {rank}")
+        return cls(min(rank, cls.D.value))
+
+    def decomposed_tag(self, original: "Asil") -> str:
+        """ISO 26262 notation for a decomposed requirement, e.g. ``B(D)``.
+
+        ``original`` is the ASIL of the requirement before decomposition;
+        the standard requires it to be recorded in parentheses because the
+        *process* requirements (independence analysis, confirmation
+        measures) still follow the original level.
+        """
+        return f"{self.name}({original.name})"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+def as_asil(level: Union[str, int, Asil]) -> Asil:
+    """Coerce a string (``"ASIL-D"``, ``"D"``, ``"qm"``), rank or
+    :class:`Asil` into an :class:`Asil`.
+
+    Raises:
+        ConfigurationError: for unrecognised inputs.
+    """
+    if isinstance(level, Asil):
+        return level
+    if isinstance(level, int):
+        if 0 <= level <= Asil.D.value:
+            return Asil(level)
+        raise ConfigurationError(f"invalid ASIL rank {level}")
+    if isinstance(level, str):
+        token = level.strip().upper().replace("ASIL-", "").replace("ASIL", "").strip()
+        try:
+            return Asil[token]
+        except KeyError:
+            raise ConfigurationError(f"unrecognised ASIL {level!r}") from None
+    raise ConfigurationError(f"cannot interpret {level!r} as an ASIL")

@@ -1,0 +1,81 @@
+"""Diverse-redundant kernel execution (Section IV of the paper).
+
+Contents: the redundant execution manager and workload builder
+(:mod:`~repro.redundancy.manager`), output comparison
+(:mod:`~repro.redundancy.comparison`), diversity metrics
+(:mod:`~repro.redundancy.diversity`), DMR/TMR modes and recovery
+(:mod:`~repro.redundancy.modes`) and spheres of replication
+(:mod:`~repro.redundancy.sphere`).
+"""
+
+from repro.redundancy.comparison import (
+    ComparisonResult,
+    OutputSignature,
+    build_signature,
+    compare_signatures,
+    majority_vote,
+)
+from repro.redundancy.diversity import (
+    DiversityReport,
+    PairDiversity,
+    analyze_diversity,
+)
+from repro.redundancy.manager import (
+    RedundantKernelManager,
+    RedundantRunResult,
+    build_redundant_workload,
+)
+from repro.redundancy.modes import (
+    RecoveryAction,
+    RedundancyMode,
+    plan_recovery,
+    recovery_timeline,
+)
+from repro.redundancy.diverse_kernels import (
+    DiverseGridManager,
+    DiverseGridResult,
+    reduce_signature,
+    reshape_kernel,
+)
+from repro.redundancy.sphere import (
+    PAPER_SOR,
+    ComponentProtection,
+    Protection,
+    SphereOfReplication,
+    protection_plan,
+)
+from repro.redundancy.watchdog import (
+    DeadlineWatchdog,
+    WatchdogReport,
+    WatchdogViolation,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "OutputSignature",
+    "build_signature",
+    "compare_signatures",
+    "majority_vote",
+    "DiversityReport",
+    "PairDiversity",
+    "analyze_diversity",
+    "RedundantKernelManager",
+    "RedundantRunResult",
+    "build_redundant_workload",
+    "RedundancyMode",
+    "RecoveryAction",
+    "plan_recovery",
+    "recovery_timeline",
+    "SphereOfReplication",
+    "Protection",
+    "ComponentProtection",
+    "protection_plan",
+    "PAPER_SOR",
+    "DiverseGridManager",
+    "DiverseGridResult",
+    "reshape_kernel",
+    "reduce_signature",
+    "DeadlineWatchdog",
+    "WatchdogReport",
+    "WatchdogViolation",
+]

@@ -1,0 +1,231 @@
+"""Diversity metrics over execution traces.
+
+Section IV-C of the paper argues SRRS and HALF "schedule any given thread
+block from both kernels at different time instants and to different SMs".
+This module turns that claim into measured quantities:
+
+* **spatial diversity** — no redundant block pair shares an SM (defeats
+  permanent/local faults);
+* **temporal diversity** — no redundant block pair overlaps in time
+  (SRRS's serialization);
+* **phase separation** — for pairs that *do* overlap (HALF), the minimum
+  distance, in work units, between the copies' execution phases over the
+  overlap window.  A chip-wide transient (voltage droop) corrupts two
+  copies *identically* only when they execute the same instruction at the
+  same instant; a positive phase separation above the instruction
+  granularity therefore suffices for detection — this is the paper's
+  "staggered execution" diversity.
+
+Progress is approximated as linear over a block's lifetime (exact under
+piecewise-constant equal-share rates when shares do not change, and a
+symmetric approximation otherwise — see :meth:`TBRecord.phase_at`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import RedundancyError
+from repro.gpu.trace import ExecutionTrace, TBRecord
+
+__all__ = ["PairDiversity", "DiversityReport", "analyze_diversity"]
+
+#: Work-unit distance below which two executions count as phase-aligned
+#: (roughly "the same instruction packet").
+DEFAULT_PHASE_TOLERANCE = 1.0
+
+
+def _phase_separation(a: TBRecord, b: TBRecord, work: float) -> Optional[float]:
+    """Minimum |work-position difference| between two overlapping blocks.
+
+    Work position of block ``r`` at time ``t`` is
+    ``work * (t - r.start) / r.duration`` (linear-progress approximation).
+    The difference is linear in ``t``, so its absolute minimum over the
+    overlap window occurs at a window endpoint or at the zero crossing.
+
+    Returns ``None`` when the blocks do not overlap in time.
+    """
+    lo = max(a.start, b.start)
+    hi = min(a.end, b.end)
+    if hi <= lo:
+        return None
+    if a.duration == 0 or b.duration == 0:
+        return 0.0
+
+    def diff(t: float) -> float:
+        wa = work * (t - a.start) / a.duration
+        wb = work * (t - b.start) / b.duration
+        return wa - wb
+
+    d_lo, d_hi = diff(lo), diff(hi)
+    if (d_lo <= 0 <= d_hi) or (d_hi <= 0 <= d_lo):
+        return 0.0
+    return min(abs(d_lo), abs(d_hi))
+
+
+@dataclass(frozen=True)
+class PairDiversity:
+    """Diversity of one redundant thread-block pair.
+
+    Attributes:
+        logical_id / tb_index: which computation the pair implements.
+        sm_a / sm_b: SMs of the two copies.
+        time_overlap: whether the execution intervals intersect.
+        time_slack: gap between the intervals (negative = overlap length).
+        phase_separation: minimum work-position distance while overlapping
+            (``None`` when not overlapping — infinitely separated).
+    """
+
+    logical_id: int
+    tb_index: int
+    sm_a: int
+    sm_b: int
+    time_overlap: bool
+    time_slack: float
+    phase_separation: Optional[float]
+
+    @property
+    def same_sm(self) -> bool:
+        """True when both copies used the same SM."""
+        return self.sm_a == self.sm_b
+
+    def is_diverse(self, phase_tolerance: float = DEFAULT_PHASE_TOLERANCE) -> bool:
+        """Paper criterion: different SM AND never phase-aligned in time."""
+        if self.same_sm:
+            return False
+        if not self.time_overlap:
+            return True
+        return (
+            self.phase_separation is not None
+            and self.phase_separation > phase_tolerance
+        )
+
+
+@dataclass(frozen=True)
+class DiversityReport:
+    """Aggregated diversity over every redundant pair of a trace.
+
+    Attributes:
+        pairs: per-pair details.
+        phase_tolerance: tolerance used by :attr:`fully_diverse`.
+    """
+
+    pairs: Tuple[PairDiversity, ...]
+    phase_tolerance: float = DEFAULT_PHASE_TOLERANCE
+
+    # ------------------------------------------------------------------
+    @property
+    def total_pairs(self) -> int:
+        """Number of redundant block pairs analysed."""
+        return len(self.pairs)
+
+    @property
+    def same_sm_pairs(self) -> int:
+        """Pairs whose copies shared an SM (permanent-CCF exposure)."""
+        return sum(1 for p in self.pairs if p.same_sm)
+
+    @property
+    def overlapping_pairs(self) -> int:
+        """Pairs whose copies overlapped in time."""
+        return sum(1 for p in self.pairs if p.time_overlap)
+
+    @property
+    def phase_aligned_pairs(self) -> int:
+        """Overlapping pairs within the phase tolerance (transient-CCF
+        exposure)."""
+        return sum(
+            1
+            for p in self.pairs
+            if p.time_overlap
+            and p.phase_separation is not None
+            and p.phase_separation <= self.phase_tolerance
+        )
+
+    @property
+    def spatially_diverse(self) -> bool:
+        """No pair shares an SM."""
+        return self.same_sm_pairs == 0
+
+    @property
+    def temporally_diverse(self) -> bool:
+        """No pair overlaps in time (SRRS's stronger property)."""
+        return self.overlapping_pairs == 0
+
+    @property
+    def fully_diverse(self) -> bool:
+        """The paper's diverse-redundancy criterion for every pair."""
+        return all(p.is_diverse(self.phase_tolerance) for p in self.pairs)
+
+    @property
+    def min_time_slack(self) -> Optional[float]:
+        """Smallest inter-copy gap across pairs (negative = overlap)."""
+        if not self.pairs:
+            return None
+        return min(p.time_slack for p in self.pairs)
+
+    @property
+    def min_phase_separation(self) -> Optional[float]:
+        """Smallest phase separation among overlapping pairs."""
+        seps = [
+            p.phase_separation
+            for p in self.pairs
+            if p.time_overlap and p.phase_separation is not None
+        ]
+        return min(seps) if seps else None
+
+    def summary(self) -> str:
+        """One-line report string used by benches and examples."""
+        return (
+            f"pairs={self.total_pairs} same_sm={self.same_sm_pairs} "
+            f"overlapping={self.overlapping_pairs} "
+            f"phase_aligned={self.phase_aligned_pairs} "
+            f"fully_diverse={self.fully_diverse}"
+        )
+
+
+def analyze_diversity(trace: ExecutionTrace, *,
+                      copy_a: int = 0, copy_b: int = 1,
+                      work_per_block: float = 1000.0,
+                      phase_tolerance: float = DEFAULT_PHASE_TOLERANCE
+                      ) -> DiversityReport:
+    """Measure diversity between two redundancy copies across a trace.
+
+    Args:
+        trace: simulation trace containing both copies of every logical
+            kernel.
+        copy_a / copy_b: the two copies to compare.
+        work_per_block: work units per block, used to convert phase
+            fractions to work positions (instruction-granularity units).
+        phase_tolerance: alignment threshold for :meth:`PairDiversity
+            .is_diverse`.
+
+    Raises:
+        RedundancyError: when a logical kernel lacks one of the copies.
+    """
+    pairs: List[PairDiversity] = []
+    for logical_id in trace.logical_ids():
+        copies = trace.copies_of(logical_id)
+        if copy_a not in copies or copy_b not in copies:
+            raise RedundancyError(
+                f"logical kernel {logical_id} lacks copies "
+                f"{copy_a}/{copy_b}: has {sorted(copies)}"
+            )
+        for ra, rb in trace.paired_blocks(logical_id, copy_a, copy_b):
+            overlap = ra.overlaps(rb)
+            if overlap:
+                slack = -(min(ra.end, rb.end) - max(ra.start, rb.start))
+            else:
+                slack = max(rb.start - ra.end, ra.start - rb.end)
+            pairs.append(
+                PairDiversity(
+                    logical_id=logical_id,
+                    tb_index=ra.tb_index,
+                    sm_a=ra.sm,
+                    sm_b=rb.sm,
+                    time_overlap=overlap,
+                    time_slack=slack,
+                    phase_separation=_phase_separation(ra, rb, work_per_block),
+                )
+            )
+    return DiversityReport(pairs=tuple(pairs), phase_tolerance=phase_tolerance)

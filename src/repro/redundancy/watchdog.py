@@ -1,0 +1,148 @@
+"""Execution watchdog — detecting non-termination (outcome 3).
+
+Section IV-C(3) of the paper: a kernel-scheduler fault may make
+"execution not terminate or terminate with errors for at least one
+kernel (e.g. by skipping a thread block)".  Output comparison catches
+wrong results; *non-termination* needs a timing monitor.  In real
+ASIL-D systems this is a watchdog supervised by the DCLS cores: every
+offload carries a deadline derived from its worst-case execution bound,
+and missing it triggers the safe reaction within the FTTI.
+
+:class:`DeadlineWatchdog` implements that check over execution traces:
+it knows which launches were expected, their deadlines (absolute cycles),
+and reports launches that never completed or completed late.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.trace import ExecutionTrace
+from repro.iso26262.fault_model import FaultHandlingTimeline
+
+__all__ = ["WatchdogViolation", "WatchdogReport", "DeadlineWatchdog"]
+
+
+@dataclass(frozen=True)
+class WatchdogViolation:
+    """One launch that missed its deadline.
+
+    Attributes:
+        instance_id: the offending launch.
+        deadline: its absolute deadline in cycles.
+        completion: observed completion (``None`` = never completed,
+            i.e. non-termination/skipped work).
+    """
+
+    instance_id: int
+    deadline: float
+    completion: Optional[float]
+
+    @property
+    def non_termination(self) -> bool:
+        """True when the launch never completed at all."""
+        return self.completion is None
+
+
+@dataclass(frozen=True)
+class WatchdogReport:
+    """All watchdog findings of one supervised execution."""
+
+    violations: Tuple[WatchdogViolation, ...]
+    checked_launches: int
+
+    @property
+    def all_met(self) -> bool:
+        """True when every launch completed within its deadline."""
+        return not self.violations
+
+    def timeline(self, gpu: GPUConfig, reaction_ms: float
+                 ) -> FaultHandlingTimeline:
+        """Fault-handling timeline implied by the earliest violation.
+
+        Detection happens at the missed deadline (the watchdog fires);
+        handling completes ``reaction_ms`` later (reset + re-execution).
+        Returns an all-clear timeline (detected and handled at 0) when no
+        violation occurred.
+        """
+        if not self.violations:
+            return FaultHandlingTimeline(detected_at=0.0, handled_at=0.0)
+        earliest = min(v.deadline for v in self.violations)
+        detected_ms = gpu.cycles_to_ms(earliest)
+        return FaultHandlingTimeline(
+            detected_at=detected_ms,
+            handled_at=detected_ms + reaction_ms,
+        )
+
+
+class DeadlineWatchdog:
+    """Supervises launches against per-launch absolute deadlines.
+
+    Args:
+        deadlines: map ``instance_id -> absolute deadline (cycles)``.
+            Launches absent from the map are unsupervised.
+
+    Use :meth:`for_workload` to derive deadlines from an execution-time
+    bound with a safety margin (the usual WCET×margin budgeting).
+    """
+
+    def __init__(self, deadlines: Dict[int, float]) -> None:
+        if not deadlines:
+            raise ConfigurationError("watchdog needs at least one deadline")
+        for iid, deadline in deadlines.items():
+            if deadline <= 0:
+                raise ConfigurationError(
+                    f"launch {iid}: deadline must be positive"
+                )
+        self._deadlines = dict(deadlines)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_workload(cls, launches: Sequence[KernelLaunch],
+                     bound_cycles: float, *,
+                     margin: float = 1.2) -> "DeadlineWatchdog":
+        """Budget every launch against a common completion bound.
+
+        Args:
+            launches: the supervised workload.
+            bound_cycles: worst-case completion bound of the *whole*
+                workload (e.g. from :mod:`repro.analysis.bounds`).
+            margin: safety factor applied to the bound.
+        """
+        if bound_cycles <= 0:
+            raise ConfigurationError("bound must be positive")
+        if margin < 1.0:
+            raise ConfigurationError("margin must be >= 1.0")
+        deadline = bound_cycles * margin
+        return cls({l.instance_id: deadline for l in launches})
+
+    # ------------------------------------------------------------------
+    def check(self, trace: ExecutionTrace) -> WatchdogReport:
+        """Check a trace against the deadlines.
+
+        Launches with no span in the trace count as non-terminating —
+        that is precisely the skipped-thread-block scheduler-fault case.
+        """
+        present = set(trace.instance_ids)
+        violations: List[WatchdogViolation] = []
+        for iid, deadline in sorted(self._deadlines.items()):
+            if iid not in present:
+                violations.append(
+                    WatchdogViolation(instance_id=iid, deadline=deadline,
+                                      completion=None)
+                )
+                continue
+            completion = trace.span(iid).completion
+            if completion > deadline:
+                violations.append(
+                    WatchdogViolation(instance_id=iid, deadline=deadline,
+                                      completion=completion)
+                )
+        return WatchdogReport(
+            violations=tuple(violations),
+            checked_launches=len(self._deadlines),
+        )

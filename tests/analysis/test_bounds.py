@@ -1,0 +1,92 @@
+"""Tests for the analytic execution-time bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import (
+    half_chain_bound,
+    isolated_kernel_bound,
+    srrs_chain_bound,
+)
+from repro.errors import ConfigurationError
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import KernelDescriptor, KernelLaunch
+from repro.gpu.scheduler import DefaultScheduler
+from repro.gpu.simulator import simulate
+from repro.redundancy.manager import RedundantKernelManager
+
+
+def _kd(grid, work, bytes_=0.0, tpb=128):
+    return KernelDescriptor(name="b", grid_blocks=grid, threads_per_block=tpb,
+                            work_per_block=work, bytes_per_block=bytes_)
+
+
+class TestIsolatedBound:
+    def test_exact_for_even_grids(self, gpu):
+        kernel = _kd(12, 500.0)
+        bound = isolated_kernel_bound(kernel, gpu)
+        sim = simulate(gpu, DefaultScheduler(),
+                       [KernelLaunch(kernel=kernel, instance_id=0)])
+        assert sim.makespan == pytest.approx(bound)
+
+    def test_sound_for_uneven_grids(self, gpu):
+        kernel = _kd(13, 500.0)
+        bound = isolated_kernel_bound(kernel, gpu)
+        sim = simulate(gpu, DefaultScheduler(),
+                       [KernelLaunch(kernel=kernel, instance_id=0)])
+        assert sim.makespan <= bound + 1e-6
+
+    def test_memory_bound_kernels(self, gpu):
+        kernel = _kd(6, 10.0, bytes_=48000.0)
+        bound = isolated_kernel_bound(kernel, gpu)
+        # memory drain plus the (tiny) compute tail, additive by design
+        assert bound == pytest.approx(6 * 48000.0 / gpu.dram_bandwidth + 10.0)
+
+    def test_partition_bound_larger(self, gpu):
+        kernel = _kd(12, 500.0)
+        assert isolated_kernel_bound(kernel, gpu, num_sms=3) > \
+            isolated_kernel_bound(kernel, gpu, num_sms=6)
+
+    def test_invalid_sm_count(self, gpu):
+        with pytest.raises(ConfigurationError):
+            isolated_kernel_bound(_kd(1, 1.0), gpu, num_sms=0)
+        with pytest.raises(ConfigurationError):
+            isolated_kernel_bound(_kd(1, 1.0), gpu, num_sms=99)
+
+
+class TestChainBounds:
+    @pytest.mark.parametrize("grids", [(6,), (12, 6), (13, 7, 2)])
+    def test_srrs_bound_sound(self, gpu, grids):
+        kernels = [_kd(g, 1000.0, bytes_=500.0) for g in grids]
+        run = RedundantKernelManager(gpu, "srrs").run(kernels)
+        assert run.makespan <= srrs_chain_bound(kernels, gpu) + 1e-6
+
+    @pytest.mark.parametrize("grids", [(6,), (12, 6), (13, 7, 2)])
+    def test_half_bound_sound(self, gpu, grids):
+        kernels = [_kd(g, 1000.0, bytes_=500.0) for g in grids]
+        run = RedundantKernelManager(gpu, "half").run(kernels)
+        assert run.makespan <= half_chain_bound(kernels, gpu) + 1e-6
+
+    def test_srrs_bound_scales_with_copies(self, gpu):
+        kernels = [_kd(6, 1000.0)]
+        assert srrs_chain_bound(kernels, gpu, copies=3) > \
+            srrs_chain_bound(kernels, gpu, copies=2)
+
+    def test_empty_chain_rejected(self, gpu):
+        with pytest.raises(ConfigurationError):
+            srrs_chain_bound([], gpu)
+        with pytest.raises(ConfigurationError):
+            half_chain_bound([], gpu)
+
+    def test_invalid_partitions_rejected(self, gpu):
+        with pytest.raises(ConfigurationError):
+            half_chain_bound([_kd(1, 1.0)], gpu, partitions=1)
+        with pytest.raises(ConfigurationError):
+            half_chain_bound([_kd(1, 1.0)], gpu, partitions=99)
+
+    def test_bounds_reasonably_tight(self, gpu):
+        # bound within 2x of the observed makespan for an even workload
+        kernels = [_kd(12, 2000.0)]
+        run = RedundantKernelManager(gpu, "srrs").run(kernels)
+        assert srrs_chain_bound(kernels, gpu) <= 2.5 * run.makespan

@@ -1,0 +1,69 @@
+"""Tests for the text rendering utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import render_bars, render_grouped_bars, render_table
+from repro.errors import ConfigurationError
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["name", "value"], [["a", 1.5], ["long-name", 2.0]]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.500" in text
+        assert "long-name" in text
+
+    def test_title(self):
+        text = render_table(["x"], [["y"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_body_renders_headers(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestRenderBars:
+    def test_peak_bar_is_longest(self):
+        text = render_bars(["small", "big"], [1.0, 2.0], width=10)
+        small_line, big_line = text.splitlines()
+        assert big_line.count("#") == 10
+        assert small_line.count("#") == 5
+
+    def test_zero_values_render(self):
+        text = render_bars(["a"], [0.0])
+        assert "0.000" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_bars(["a"], [1.0, 2.0])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_bars(["a"], [-1.0])
+
+    def test_unit_suffix(self):
+        assert "ms" in render_bars(["a"], [1.0], unit="ms")
+
+
+class TestRenderGroupedBars:
+    def test_groups_and_series(self):
+        text = render_grouped_bars(
+            ["bench1", "bench2"],
+            {"default": [1.0, 1.0], "srrs": [1.2, 2.0]},
+        )
+        assert "bench1" in text
+        assert "srrs" in text
+        assert text.count("|") == 4
+
+    def test_series_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            render_grouped_bars(["a"], {"s": [1.0, 2.0]})

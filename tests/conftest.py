@@ -1,0 +1,62 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.config import GPUConfig, SMConfig
+from repro.gpu.kernel import KernelDescriptor
+
+
+@pytest.fixture
+def gpu() -> GPUConfig:
+    """The paper's 6-SM GPGPU-Sim-like configuration."""
+    return GPUConfig.gpgpusim_like()
+
+
+@pytest.fixture
+def small_gpu() -> GPUConfig:
+    """A tiny 2-SM GPU for hand-checkable scenarios."""
+    return GPUConfig(
+        name="tiny-2sm",
+        num_sms=2,
+        sm=SMConfig(max_threads=512, max_blocks=4, registers=16384,
+                    shared_memory=16384, issue_throughput=1.0),
+        clock_mhz=1000.0,
+        dram_bandwidth=32.0,
+        dispatch_latency=100.0,
+    )
+
+
+@pytest.fixture
+def simple_kernel() -> KernelDescriptor:
+    """One-wave kernel: 6 blocks, pure compute."""
+    return KernelDescriptor(
+        name="test/simple",
+        grid_blocks=6,
+        threads_per_block=128,
+        work_per_block=1000.0,
+    )
+
+
+@pytest.fixture
+def tiny_kernel() -> KernelDescriptor:
+    """Single-block kernel for minimal scenarios."""
+    return KernelDescriptor(
+        name="test/tiny",
+        grid_blocks=1,
+        threads_per_block=64,
+        work_per_block=500.0,
+    )
+
+
+@pytest.fixture
+def memory_kernel() -> KernelDescriptor:
+    """Memory-heavy kernel exercising the DRAM sharing path."""
+    return KernelDescriptor(
+        name="test/memory",
+        grid_blocks=6,
+        threads_per_block=128,
+        work_per_block=100.0,
+        bytes_per_block=48000.0,
+    )

@@ -1,0 +1,177 @@
+"""Tests for fault application and injection campaigns (experiment E5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultInjectionError, SafetyViolation
+from repro.faults.campaign import CampaignConfig, FaultCampaign
+from repro.faults.injector import apply_fault
+from repro.faults.outcomes import FaultOutcome, classify_outcome
+from repro.faults.types import PermanentSMFault, SEUFault, TransientCCF
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import KernelDescriptor
+from repro.redundancy.manager import RedundantKernelManager
+
+
+@pytest.fixture
+def kernel():
+    return KernelDescriptor(name="k", grid_blocks=12, threads_per_block=128,
+                            work_per_block=6000.0)
+
+
+@pytest.fixture
+def default_run(gpu, kernel):
+    return RedundantKernelManager(gpu, "default").run([kernel])
+
+
+@pytest.fixture
+def srrs_run(gpu, kernel):
+    return RedundantKernelManager(gpu, "srrs").run([kernel])
+
+
+@pytest.fixture
+def half_run(gpu, kernel):
+    return RedundantKernelManager(gpu, "half").run([kernel])
+
+
+class TestApplyFault:
+    def test_masked_fault_touches_nothing(self, srrs_run):
+        trace = srrs_run.sim.trace
+        fault = TransientCCF(time=trace.makespan + 1000.0, fault_id=0)
+        assert apply_fault(fault, trace) == {}
+
+    def test_permanent_fault_corrupts_all_blocks_on_sm(self, srrs_run):
+        trace = srrs_run.sim.trace
+        fault = PermanentSMFault(sm=0, fault_id=0)
+        corruption = apply_fault(fault, trace)
+        expected = sum(1 for r in trace.tb_records if r.sm == 0)
+        assert len(corruption) == expected
+
+    def test_seu_restricted_to_single_victim(self, default_run):
+        trace = default_run.sim.trace
+        # pick a time when several blocks are active on SM 0
+        record = trace.blocks_on_sm(0)[0]
+        t = (record.start + record.end) / 2
+        corruption = apply_fault(SEUFault(sm=0, time=t, fault_id=0), trace)
+        assert len(corruption) <= 1
+
+    def test_unknown_sm_rejected(self, srrs_run):
+        trace = srrs_run.sim.trace
+        with pytest.raises(FaultInjectionError):
+            apply_fault(PermanentSMFault(sm=99, fault_id=0), trace)
+        with pytest.raises(FaultInjectionError):
+            apply_fault(TransientCCF(time=0.0, fault_id=0, sms=(99,)), trace)
+
+
+class TestClassifyOutcome:
+    def test_empty_corruption_masked(self):
+        assert classify_outcome({}, []) is FaultOutcome.MASKED
+
+
+class TestCampaignGuarantees:
+    """The E5 experiment in miniature: SRRS/HALF detect everything."""
+
+    CONFIG = CampaignConfig(transient_ccf=150, permanent_sm=40, seu=60,
+                            seed=42)
+
+    def test_srrs_has_no_sdc(self, srrs_run):
+        report = FaultCampaign(srrs_run).run(self.CONFIG)
+        assert report.sdc == 0
+        assert report.detection_coverage == 1.0
+        report.assert_no_sdc()
+
+    def test_half_has_no_sdc(self, half_run):
+        report = FaultCampaign(half_run).run(self.CONFIG)
+        assert report.sdc == 0
+        report.assert_no_sdc()
+
+    def test_default_scheduler_exhibits_sdc(self, default_run):
+        # the paper's motivation: unconstrained scheduling leaves CCF holes
+        report = FaultCampaign(default_run).run(self.CONFIG)
+        assert report.sdc > 0
+        with pytest.raises(SafetyViolation):
+            report.assert_no_sdc()
+
+    def test_permanent_faults_cause_default_sdc(self, default_run):
+        report = FaultCampaign(default_run).run(self.CONFIG)
+        permanent = report.by_kind.get("PermanentSMFault", {})
+        assert permanent.get(FaultOutcome.SDC, 0) > 0
+
+    def test_seus_always_detected_or_masked(self, default_run):
+        report = FaultCampaign(default_run).run(self.CONFIG)
+        seu = report.by_kind.get("SEUFault", {})
+        assert seu.get(FaultOutcome.SDC, 0) == 0
+
+    def test_campaign_is_reproducible(self, srrs_run):
+        a = FaultCampaign(srrs_run).run(self.CONFIG)
+        b = FaultCampaign(srrs_run).run(self.CONFIG)
+        assert [r.outcome for r in a.injections] == [
+            r.outcome for r in b.injections
+        ]
+
+    def test_counts_sum_to_total(self, default_run):
+        report = FaultCampaign(default_run).run(self.CONFIG)
+        assert report.masked + report.detected + report.sdc == report.total
+        assert report.total == 250
+
+    def test_summary_format(self, srrs_run):
+        text = FaultCampaign(srrs_run).run(self.CONFIG).summary()
+        assert "coverage=1.0000" in text
+
+    def test_hardware_metrics_bridge(self, srrs_run):
+        report = FaultCampaign(srrs_run).run(self.CONFIG)
+        metrics = report.hardware_metrics(raw_failure_rate_per_hour=1e-7)
+        assert metrics.pmhf_per_hour == 0.0
+
+    def test_explicit_fault_population(self, srrs_run):
+        faults = [PermanentSMFault(sm=0, fault_id=0)]
+        report = FaultCampaign(srrs_run).run(faults=faults)
+        assert report.total == 1
+        assert report.injections[0].outcome is FaultOutcome.DETECTED
+
+    def test_campaign_rejects_dirty_baseline(self, gpu, kernel):
+        run = RedundantKernelManager(gpu, "srrs").run(
+            [kernel], corruption={(0, 0): ("x",)}
+        )
+        with pytest.raises(FaultInjectionError):
+            FaultCampaign(run)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            CampaignConfig(transient_ccf=0, permanent_sm=0, seu=0)
+        with pytest.raises(FaultInjectionError):
+            CampaignConfig(transient_ccf=-1)
+
+
+class TestQueueInducedPhaseAlignment:
+    """A heavy kernel followed by a small one makes the default scheduler
+    phase-align the small kernel's redundant copies (both copies' blocks
+    start the instant the heavy kernel drains) — so chip-wide transient
+    CCFs become silent.  SRRS/HALF are immune by construction."""
+
+    def _workload(self, gpu):
+        from repro.workloads import make_heavy_kernel
+
+        heavy = make_heavy_kernel(gpu)
+        small = KernelDescriptor(name="small", grid_blocks=6,
+                                 threads_per_block=128,
+                                 work_per_block=8000.0)
+        return [heavy, small]
+
+    CONFIG = CampaignConfig(transient_ccf=400, permanent_sm=50, seu=50,
+                            seed=3)
+
+    def test_default_scheduler_aligns_and_leaks_transients(self, gpu):
+        run = RedundantKernelManager(gpu, "default").run(self._workload(gpu))
+        assert run.diversity.phase_aligned_pairs > 0
+        report = FaultCampaign(run).run(self.CONFIG)
+        transient = report.by_kind["TransientCCF"]
+        assert transient.get(FaultOutcome.SDC, 0) > 0
+
+    @pytest.mark.parametrize("policy", ["srrs", "half"])
+    def test_paper_policies_immune(self, gpu, policy):
+        run = RedundantKernelManager(gpu, policy).run(self._workload(gpu))
+        assert run.diversity.phase_aligned_pairs == 0
+        report = FaultCampaign(run).run(self.CONFIG)
+        assert report.sdc == 0

@@ -1,0 +1,116 @@
+"""Tests for the L2/DRAM traffic model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import KernelDescriptor
+from repro.gpu.memory import (
+    AccessProfile,
+    L2Model,
+    derive_bytes_per_block,
+    derive_kernel,
+)
+from repro.gpu.scheduler import DefaultScheduler
+from repro.gpu.simulator import simulate
+from repro.gpu.kernel import KernelLaunch
+
+
+def _profile(footprint=1 << 14, access=1 << 16, sharing=1.0):
+    return AccessProfile(footprint_bytes=footprint, access_bytes=access,
+                         sharing_factor=sharing)
+
+
+class TestAccessProfile:
+    def test_reuse(self):
+        assert _profile(footprint=100, access=400).reuse == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(footprint=0, access=100),
+        dict(footprint=200, access=100),
+        dict(footprint=100, access=100, sharing=0.5),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            _profile(**kwargs)
+
+
+class TestL2Model:
+    def test_fitting_working_set_pays_cold_misses_only(self):
+        l2 = L2Model(size_bytes=1 << 20)
+        profile = _profile(footprint=1 << 12, access=1 << 14)  # reuse 4
+        assert l2.miss_ratio(profile, concurrent_blocks=4) == pytest.approx(0.25)
+
+    def test_streaming_at_heavy_oversubscription(self):
+        l2 = L2Model(size_bytes=1 << 12)
+        profile = _profile(footprint=1 << 12, access=1 << 14)
+        assert l2.miss_ratio(profile, concurrent_blocks=8) == pytest.approx(1.0)
+
+    def test_interpolation_region_monotonic(self):
+        l2 = L2Model(size_bytes=1 << 14)
+        profile = _profile(footprint=1 << 12, access=1 << 14)
+        ratios = [l2.miss_ratio(profile, n) for n in (4, 5, 6, 7, 8)]
+        assert all(a <= b + 1e-12 for a, b in zip(ratios, ratios[1:]))
+        assert ratios[0] == pytest.approx(0.25)  # fits exactly
+        assert ratios[-1] == pytest.approx(1.0)  # 2x oversubscribed
+
+    def test_sharing_shrinks_working_set(self):
+        l2 = L2Model(size_bytes=1 << 14)
+        private = _profile(footprint=1 << 12, access=1 << 14, sharing=1.0)
+        shared = _profile(footprint=1 << 12, access=1 << 14, sharing=2.0)
+        assert l2.miss_ratio(shared, 8) < l2.miss_ratio(private, 8)
+
+    def test_ecc_overhead_costs_capacity(self):
+        plain = L2Model(size_bytes=1 << 14)
+        ecc = L2Model(size_bytes=1 << 14, ecc_overhead=0.125)
+        profile = _profile(footprint=1 << 12, access=1 << 14)
+        # 4 blocks fit exactly without ECC but overflow with it
+        assert ecc.miss_ratio(profile, 4) > plain.miss_ratio(profile, 4)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            L2Model(size_bytes=0)
+        with pytest.raises(ConfigurationError):
+            L2Model(ecc_overhead=1.0)
+
+    def test_invalid_block_count(self):
+        with pytest.raises(ConfigurationError):
+            L2Model().miss_ratio(_profile(), 0)
+
+
+class TestDerivation:
+    def _kernel(self):
+        return KernelDescriptor(name="mem/k", grid_blocks=12,
+                                threads_per_block=128,
+                                work_per_block=1000.0)
+
+    def test_derive_bytes_positive(self, gpu):
+        traffic = derive_bytes_per_block(_profile(), gpu, self._kernel())
+        assert traffic > 0
+
+    def test_bigger_l2_means_less_traffic(self, gpu):
+        profile = _profile(footprint=1 << 16, access=1 << 19)
+        small = derive_bytes_per_block(
+            profile, gpu, self._kernel(), L2Model(size_bytes=1 << 16)
+        )
+        big = derive_bytes_per_block(
+            profile, gpu, self._kernel(), L2Model(size_bytes=1 << 22)
+        )
+        assert big < small
+
+    def test_derive_kernel_feeds_the_simulator(self, gpu):
+        base = self._kernel()
+        # memory-heavy profile: derived kernel must simulate slower
+        profile = AccessProfile(
+            footprint_bytes=1 << 18, access_bytes=1 << 21,
+        )
+        derived = derive_kernel(base, profile, gpu,
+                                L2Model(size_bytes=1 << 18))
+        assert derived.bytes_per_block > 0
+        fast = simulate(gpu, DefaultScheduler(),
+                        [KernelLaunch(kernel=base, instance_id=0)])
+        slow = simulate(gpu, DefaultScheduler(),
+                        [KernelLaunch(kernel=derived, instance_id=0)])
+        assert slow.makespan > fast.makespan

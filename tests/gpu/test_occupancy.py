@@ -1,0 +1,87 @@
+"""Tests for the SM occupancy calculator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.gpu.config import GPUConfig, SMConfig
+from repro.gpu.kernel import KernelDescriptor
+from repro.gpu.occupancy import (
+    blocks_per_sm,
+    max_resident_blocks,
+    occupancy_report,
+)
+
+
+def _kd(**overrides) -> KernelDescriptor:
+    params = dict(name="k", grid_blocks=8, threads_per_block=128,
+                  regs_per_thread=16, shared_mem_per_block=0,
+                  work_per_block=10.0)
+    params.update(overrides)
+    return KernelDescriptor(**params)
+
+
+SM = SMConfig(max_threads=1024, max_blocks=8, registers=32768,
+              shared_memory=32768)
+
+
+class TestOccupancyLimits:
+    def test_thread_limited(self):
+        report = occupancy_report(_kd(threads_per_block=512, regs_per_thread=1), SM)
+        assert report.blocks_per_sm == 2
+        assert report.limiter == "threads"
+
+    def test_block_slot_limited(self):
+        report = occupancy_report(_kd(threads_per_block=32, regs_per_thread=1), SM)
+        assert report.blocks_per_sm == 8
+        assert report.limiter == "blocks"
+
+    def test_register_limited(self):
+        # 64 regs * 128 threads = 8192 per block; 32768/8192 = 4
+        report = occupancy_report(_kd(regs_per_thread=64), SM)
+        assert report.blocks_per_sm == 4
+        assert report.limiter == "registers"
+
+    def test_shared_memory_limited(self):
+        report = occupancy_report(_kd(shared_mem_per_block=16384,
+                                      regs_per_thread=1), SM)
+        assert report.blocks_per_sm == 2
+        assert report.limiter == "shared_memory"
+
+    def test_no_shared_memory_is_unconstrained(self):
+        report = occupancy_report(_kd(regs_per_thread=1), SM)
+        assert report.smem_limit is None
+
+    def test_occupancy_fraction(self):
+        report = occupancy_report(_kd(threads_per_block=512, regs_per_thread=1), SM)
+        assert report.occupancy == pytest.approx(2 / 8)
+
+
+class TestCapacityErrors:
+    def test_too_many_threads(self):
+        with pytest.raises(CapacityError):
+            occupancy_report(_kd(threads_per_block=2048), SM)
+
+    def test_too_many_registers(self):
+        with pytest.raises(CapacityError):
+            occupancy_report(_kd(threads_per_block=1024, regs_per_thread=64), SM)
+
+    def test_too_much_shared_memory(self):
+        with pytest.raises(CapacityError):
+            occupancy_report(_kd(shared_mem_per_block=65536), SM)
+
+
+class TestHelpers:
+    def test_blocks_per_sm_matches_report(self):
+        kd = _kd(regs_per_thread=64)
+        assert blocks_per_sm(kd, SM) == occupancy_report(kd, SM).blocks_per_sm
+
+    def test_max_resident_blocks_scales_with_sms(self):
+        kd = _kd(regs_per_thread=64)
+        gpu = GPUConfig(num_sms=6, sm=SM)
+        assert max_resident_blocks(kd, gpu) == 6 * blocks_per_sm(kd, SM)
+
+    def test_at_least_one_block_when_it_fits(self):
+        kd = _kd(threads_per_block=1024, regs_per_thread=32)
+        assert blocks_per_sm(kd, SM) == 1

@@ -1,0 +1,139 @@
+"""Tests for the CUDA-like API and the five-step offload protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, RedundancyError
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import KernelDescriptor
+from repro.host.api import GPUContext
+from repro.host.pipeline import SafetyCriticalOffload
+
+
+@pytest.fixture
+def kernel():
+    return KernelDescriptor(name="k", grid_blocks=6, threads_per_block=128,
+                            work_per_block=2000.0, input_bytes=1 << 16,
+                            output_bytes=1 << 14)
+
+
+class TestGPUContext:
+    def test_malloc_and_free(self, gpu):
+        ctx = GPUContext(gpu)
+        buf = ctx.malloc(1024, "x")
+        assert buf.nbytes == 1024
+        ctx.free(buf)
+        with pytest.raises(ConfigurationError):
+            ctx.free(buf)
+
+    def test_invalid_buffer_size(self, gpu):
+        with pytest.raises(ConfigurationError):
+            GPUContext(gpu).malloc(0)
+
+    def test_memcpy_requires_allocation(self, gpu):
+        ctx = GPUContext(gpu)
+        buf = ctx.malloc(1024)
+        ctx.free(buf)
+        with pytest.raises(ConfigurationError):
+            ctx.memcpy_h2d(buf)
+
+    def test_oversized_transfer_rejected(self, gpu):
+        ctx = GPUContext(gpu)
+        buf = ctx.malloc(1024)
+        with pytest.raises(ConfigurationError):
+            ctx.memcpy_h2d(buf, nbytes=4096)
+
+    def test_clock_advances_with_operations(self, gpu):
+        ctx = GPUContext(gpu)
+        t0 = ctx.clock_ms
+        buf = ctx.malloc(1 << 20)
+        ctx.memcpy_h2d(buf)
+        assert ctx.clock_ms > t0
+
+    def test_launch_and_synchronize(self, gpu, kernel):
+        ctx = GPUContext(gpu, policy="default")
+        iid = ctx.launch(kernel)
+        sim = ctx.synchronize()
+        assert sim.trace.span(iid).completion > 0
+        assert ctx.last_result is sim
+
+    def test_stream_ordering_respected(self, gpu, kernel):
+        ctx = GPUContext(gpu)
+        a = ctx.launch(kernel, stream=0)
+        b = ctx.launch(kernel, stream=0)
+        sim = ctx.synchronize()
+        assert sim.trace.span(b).first_dispatch >= sim.trace.span(a).completion
+
+    def test_independent_streams_may_overlap(self, gpu, kernel):
+        long_kernel = kernel.scaled(20.0)
+        ctx = GPUContext(gpu, policy="default")
+        a = ctx.launch(long_kernel, stream=0)
+        b = ctx.launch(long_kernel, stream=1)
+        sim = ctx.synchronize()
+        assert sim.trace.overlap_cycles(a, b) > 0
+
+    def test_synchronize_without_launches_rejected(self, gpu):
+        with pytest.raises(RedundancyError):
+            GPUContext(gpu).synchronize()
+
+    def test_sync_clears_pending_state(self, gpu, kernel):
+        ctx = GPUContext(gpu)
+        ctx.launch(kernel)
+        ctx.synchronize()
+        with pytest.raises(RedundancyError):
+            ctx.synchronize()
+
+    def test_dcls_log_records_protocol(self, gpu, kernel):
+        ctx = GPUContext(gpu)
+        buf = ctx.malloc(1024)
+        ctx.memcpy_h2d(buf)
+        ctx.launch(kernel)
+        ctx.synchronize()
+        ctx.memcpy_d2h(buf)
+        log = ctx.dcls.log
+        for expected in ("cudaMalloc", "cudaMemcpyH2D", "cudaLaunchKernel",
+                         "cudaDeviceSynchronize", "cudaMemcpyD2H"):
+            assert expected in log
+
+
+class TestSafetyCriticalOffload:
+    @pytest.mark.parametrize("policy", ["srrs", "half"])
+    def test_clean_offload_is_diverse_and_agrees(self, gpu, kernel, policy):
+        offload = SafetyCriticalOffload(gpu, policy=policy)
+        result = offload.run([kernel], tag="t")
+        assert not result.detected_mismatch
+        assert result.diversity.fully_diverse
+        assert result.elapsed_ms > 0
+        assert result.gpu_busy_ms > 0
+        assert result.elapsed_ms > result.gpu_busy_ms
+
+    def test_default_policy_lacks_diversity(self, gpu, kernel):
+        result = SafetyCriticalOffload(gpu, policy="default").run([kernel])
+        assert not result.diversity.fully_diverse
+
+    def test_corruption_detected_by_step5(self, gpu, kernel):
+        offload = SafetyCriticalOffload(gpu, policy="srrs")
+        result = offload.run([kernel], corruption={(0, 1): ("flip",)})
+        assert result.detected_mismatch
+        assert result.comparisons[0].error_detected
+
+    def test_multi_kernel_chain(self, gpu, kernel):
+        offload = SafetyCriticalOffload(gpu, policy="half")
+        result = offload.run([kernel, kernel.scaled(2.0)])
+        assert len(result.comparisons) == 2
+        assert not result.detected_mismatch
+
+    def test_requires_two_copies(self, gpu):
+        with pytest.raises(RedundancyError):
+            SafetyCriticalOffload(gpu, copies=1)
+
+    def test_protocol_steps_logged_in_order(self, gpu, kernel):
+        offload = SafetyCriticalOffload(gpu, policy="srrs")
+        offload.run([kernel])
+        log = list(offload.context.dcls.log)
+        assert log.index("cudaMalloc") < log.index("cudaMemcpyH2D")
+        assert log.index("cudaMemcpyH2D") < log.index("cudaLaunchKernel")
+        assert log.index("cudaLaunchKernel") < log.index("cudaDeviceSynchronize")
+        assert log.index("cudaDeviceSynchronize") < log.index("cudaMemcpyD2H")
+        assert log.index("cudaMemcpyD2H") < log.index("compare_outputs")

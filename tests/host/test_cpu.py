@@ -1,0 +1,77 @@
+"""Tests for the DCLS lockstep CPU model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.host.cpu import DCLSConfig, DCLSProcessor, HostOp, LockstepError
+
+
+class TestDCLSConfig:
+    def test_stagger_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            DCLSConfig(stagger_cycles=0)
+
+    def test_defaults_valid(self):
+        cfg = DCLSConfig()
+        assert cfg.stagger_cycles > 0
+        assert cfg.asil.name == "D"
+
+
+class TestExecution:
+    def test_fault_free_operation_returns_payload(self):
+        dcls = DCLSProcessor()
+        result = dcls.execute(HostOp("alloc", ("buf", 1), duration_ms=0.5))
+        assert result == ("buf", 1)
+        assert dcls.elapsed_ms == pytest.approx(0.5)
+        assert dcls.log == ("alloc",)
+
+    def test_time_accumulates(self):
+        dcls = DCLSProcessor()
+        dcls.execute(HostOp("a", (), duration_ms=1.0))
+        dcls.execute(HostOp("b", (), duration_ms=2.0))
+        assert dcls.elapsed_ms == pytest.approx(3.0)
+
+    def test_single_core_fault_detected(self):
+        dcls = DCLSProcessor()
+        dcls.inject_core_fault("A", lambda op: ("corrupted",))
+        with pytest.raises(LockstepError, match="divergence"):
+            dcls.execute(HostOp("compute", ("x",)))
+
+    def test_fault_on_core_b_also_detected(self):
+        dcls = DCLSProcessor()
+        dcls.inject_core_fault("B", lambda op: ("corrupted",))
+        with pytest.raises(LockstepError):
+            dcls.execute(HostOp("compute", ("x",)))
+
+    def test_clear_faults_restores_agreement(self):
+        dcls = DCLSProcessor()
+        dcls.inject_core_fault("A", lambda op: ("bad",))
+        dcls.clear_faults()
+        assert dcls.execute(HostOp("compute", ("x",))) == ("x",)
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DCLSProcessor().inject_core_fault("C", lambda op: ())
+
+
+class TestCompareOutputs:
+    def test_matching_outputs(self):
+        dcls = DCLSProcessor()
+        assert dcls.compare_outputs(("a", "b"), ("a", "b"), nbytes=1024)
+
+    def test_mismatching_outputs(self):
+        dcls = DCLSProcessor()
+        assert not dcls.compare_outputs(("a",), ("b",), nbytes=1024)
+
+    def test_compare_time_scales_with_size(self):
+        dcls = DCLSProcessor(DCLSConfig(compare_mbps=1000.0))
+        dcls.compare_outputs((), (), nbytes=10_000_000)
+        # 10 MB at 1000 MB/s = 10 ms
+        assert dcls.elapsed_ms == pytest.approx(10.0)
+
+    def test_comparison_logged(self):
+        dcls = DCLSProcessor()
+        dcls.compare_outputs((), (), nbytes=1)
+        assert "compare_outputs" in dcls.log

@@ -1,0 +1,71 @@
+"""Tests for the ASIL lattice."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.iso26262.asil import Asil, as_asil
+
+
+class TestOrdering:
+    def test_total_order(self):
+        assert Asil.QM < Asil.A < Asil.B < Asil.C < Asil.D
+
+    def test_comparisons(self):
+        assert Asil.D >= Asil.D
+        assert Asil.B <= Asil.C
+        assert Asil.C > Asil.QM
+        assert not (Asil.A > Asil.B)
+
+    def test_comparison_with_other_types_fails(self):
+        with pytest.raises(TypeError):
+            _ = Asil.A < 3  # type: ignore[operator]
+
+
+class TestRanks:
+    def test_ranks(self):
+        assert [a.rank for a in (Asil.QM, Asil.A, Asil.B, Asil.C, Asil.D)] == [
+            0, 1, 2, 3, 4,
+        ]
+
+    def test_from_rank(self):
+        assert Asil.from_rank(2) is Asil.B
+
+    def test_from_rank_saturates_at_d(self):
+        assert Asil.from_rank(7) is Asil.D
+
+    def test_from_rank_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Asil.from_rank(-1)
+
+    def test_safety_related(self):
+        assert not Asil.QM.is_safety_related
+        assert all(
+            a.is_safety_related for a in (Asil.A, Asil.B, Asil.C, Asil.D)
+        )
+
+
+class TestNotation:
+    def test_decomposed_tag(self):
+        assert Asil.B.decomposed_tag(Asil.D) == "B(D)"
+        assert Asil.QM.decomposed_tag(Asil.C) == "QM(C)"
+
+
+class TestCoercion:
+    @pytest.mark.parametrize("value,expected", [
+        ("D", Asil.D),
+        ("asil-b", Asil.B),
+        ("ASIL-C", Asil.C),
+        ("qm", Asil.QM),
+        (" ASIL A ", Asil.A),
+        (3, Asil.C),
+        (Asil.D, Asil.D),
+    ])
+    def test_accepted_forms(self, value, expected):
+        assert as_asil(value) is expected
+
+    @pytest.mark.parametrize("value", ["E", "ASIL-X", 9, -1, 2.5, None])
+    def test_rejected_forms(self, value):
+        with pytest.raises(ConfigurationError):
+            as_asil(value)

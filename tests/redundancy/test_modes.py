@@ -1,0 +1,95 @@
+"""Tests for redundancy modes and recovery planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RedundancyError
+from repro.iso26262.fault_model import Ftti
+from repro.redundancy.comparison import OutputSignature, compare_signatures
+from repro.redundancy.modes import (
+    RecoveryAction,
+    RedundancyMode,
+    plan_recovery,
+    recovery_timeline,
+)
+
+
+def _sig(copy_id, tokens):
+    return OutputSignature(instance_id=copy_id, logical_id=0,
+                           copy_id=copy_id, tokens=tuple(tokens))
+
+
+OK = ("ok", 0, 0)
+ERR_A = ("err", "a")
+ERR_B = ("err", "b")
+
+
+class TestModes:
+    def test_copies(self):
+        assert RedundancyMode.DMR.copies == 2
+        assert RedundancyMode.TMR.copies == 3
+
+
+class TestPlanRecovery:
+    def test_clean_dmr_no_action(self):
+        cmp = compare_signatures([_sig(0, [OK]), _sig(1, [OK])])
+        assert plan_recovery(RedundancyMode.DMR, cmp) is RecoveryAction.NONE
+
+    def test_dmr_mismatch_reexecutes(self):
+        cmp = compare_signatures([_sig(0, [ERR_A]), _sig(1, [OK])])
+        assert plan_recovery(RedundancyMode.DMR, cmp) is RecoveryAction.REEXECUTE
+
+    def test_dmr_silent_corruption_unrecoverable(self):
+        cmp = compare_signatures([_sig(0, [ERR_A]), _sig(1, [ERR_A])])
+        assert (
+            plan_recovery(RedundancyMode.DMR, cmp)
+            is RecoveryAction.UNRECOVERABLE
+        )
+
+    def test_tmr_single_error_vote_corrects(self):
+        sigs = [_sig(0, [OK]), _sig(1, [ERR_A]), _sig(2, [OK])]
+        cmp = compare_signatures(sigs)
+        assert (
+            plan_recovery(RedundancyMode.TMR, cmp, sigs)
+            is RecoveryAction.VOTE_CORRECT
+        )
+
+    def test_tmr_three_way_disagreement_reexecutes(self):
+        sigs = [_sig(0, [ERR_A]), _sig(1, [ERR_B]), _sig(2, [("err", "c")])]
+        cmp = compare_signatures(sigs)
+        assert (
+            plan_recovery(RedundancyMode.TMR, cmp, sigs)
+            is RecoveryAction.REEXECUTE
+        )
+
+    def test_tmr_without_signatures_rejected(self):
+        cmp = compare_signatures([_sig(0, [ERR_A]), _sig(1, [OK]), _sig(2, [OK])])
+        with pytest.raises(RedundancyError):
+            plan_recovery(RedundancyMode.TMR, cmp)
+
+
+class TestRecoveryTimeline:
+    def test_none_handles_at_detection(self):
+        tl = recovery_timeline(RecoveryAction.NONE, detection_ms=10.0,
+                               reexecution_ms=50.0)
+        assert tl.handled_at == pytest.approx(10.0)
+        assert tl.within(Ftti(20.0))
+
+    def test_vote_correct_handles_at_detection(self):
+        tl = recovery_timeline(RecoveryAction.VOTE_CORRECT, detection_ms=10.0,
+                               reexecution_ms=50.0)
+        assert tl.handled_at == pytest.approx(10.0)
+
+    def test_reexecute_adds_reexecution_time(self):
+        tl = recovery_timeline(RecoveryAction.REEXECUTE, detection_ms=10.0,
+                               reexecution_ms=50.0)
+        assert tl.handled_at == pytest.approx(60.0)
+        assert tl.within(Ftti(100.0))
+        assert not tl.within(Ftti(30.0))
+
+    def test_unrecoverable_is_undetected(self):
+        tl = recovery_timeline(RecoveryAction.UNRECOVERABLE, detection_ms=10.0,
+                               reexecution_ms=50.0)
+        assert not tl.detected
+        assert not tl.within(Ftti(1e9))

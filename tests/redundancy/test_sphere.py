@@ -1,0 +1,50 @@
+"""Tests for spheres of replication."""
+
+from __future__ import annotations
+
+from repro.redundancy.sphere import (
+    PAPER_SOR,
+    Protection,
+    SphereOfReplication,
+    protection_plan,
+)
+
+
+class TestProtectionPlan:
+    def test_paper_sor_is_sm_cores(self):
+        assert PAPER_SOR is SphereOfReplication.SM_CORES
+
+    def test_sm_cores_replicated_in_paper_sor(self):
+        plan = {p.component: p for p in protection_plan()}
+        cores = plan["SM cores (CUDA/LD-ST/SFU)"]
+        assert cores.inside_sphere
+        assert cores.protection is Protection.REPLICATED_DIVERSE
+
+    def test_memories_use_ecc_outside_sphere(self):
+        plan = {p.component: p for p in protection_plan()}
+        for component in ("register file", "SM L1/shared memory", "L2 cache"):
+            assert not plan[component].inside_sphere
+            assert plan[component].protection is Protection.ECC
+
+    def test_kernel_scheduler_needs_periodic_test(self):
+        plan = {p.component: p for p in protection_plan()}
+        scheduler = plan["kernel scheduler"]
+        assert scheduler.protection is Protection.PERIODIC_TEST
+        assert "latent" in scheduler.rationale
+
+    def test_dcls_cpu_is_lockstep(self):
+        plan = {p.component: p for p in protection_plan()}
+        assert plan["DCLS CPU"].protection is Protection.LOCKSTEP
+
+    def test_full_gpu_sphere_replicates_more(self):
+        plan = {
+            p.component: p
+            for p in protection_plan(SphereOfReplication.FULL_GPU)
+        }
+        assert plan["L2 cache"].inside_sphere
+        assert plan["kernel scheduler"].inside_sphere
+        assert not plan["DCLS CPU"].inside_sphere
+
+    def test_every_component_has_rationale(self):
+        for p in protection_plan():
+            assert p.rationale

@@ -1,0 +1,103 @@
+"""Tests for the deadline watchdog (non-termination detection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import KernelDescriptor
+from repro.gpu.scheduler import SRRSScheduler
+from repro.gpu.simulator import GPUSimulator
+from repro.iso26262.fault_model import Ftti
+from repro.redundancy.manager import build_redundant_workload
+from repro.redundancy.watchdog import DeadlineWatchdog
+
+
+@pytest.fixture
+def kernel():
+    return KernelDescriptor(name="k", grid_blocks=6, threads_per_block=128,
+                            work_per_block=2000.0)
+
+
+@pytest.fixture
+def trace(gpu, kernel):
+    launches = build_redundant_workload([kernel])
+    return GPUSimulator(gpu, SRRSScheduler()).run(launches).trace
+
+
+class TestConstruction:
+    def test_empty_deadlines_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeadlineWatchdog({})
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeadlineWatchdog({0: 0.0})
+
+    def test_for_workload_applies_margin(self, kernel):
+        launches = build_redundant_workload([kernel])
+        watchdog = DeadlineWatchdog.for_workload(launches, 1000.0, margin=1.5)
+        report_deadlines = watchdog._deadlines  # noqa: SLF001 - test
+        assert all(d == pytest.approx(1500.0) for d in report_deadlines.values())
+
+    def test_for_workload_validation(self, kernel):
+        launches = build_redundant_workload([kernel])
+        with pytest.raises(ConfigurationError):
+            DeadlineWatchdog.for_workload(launches, 0.0)
+        with pytest.raises(ConfigurationError):
+            DeadlineWatchdog.for_workload(launches, 100.0, margin=0.5)
+
+
+class TestChecking:
+    def test_generous_deadlines_all_met(self, trace, gpu, kernel):
+        launches = build_redundant_workload([kernel])
+        watchdog = DeadlineWatchdog.for_workload(
+            launches, trace.makespan, margin=1.2
+        )
+        report = watchdog.check(trace)
+        assert report.all_met
+        assert report.checked_launches == 2
+
+    def test_tight_deadline_flagged(self, trace):
+        watchdog = DeadlineWatchdog({0: 1.0})
+        report = watchdog.check(trace)
+        assert not report.all_met
+        violation = report.violations[0]
+        assert violation.instance_id == 0
+        assert not violation.non_termination
+        assert violation.completion > violation.deadline
+
+    def test_missing_launch_is_non_termination(self, trace):
+        # instance 99 never ran: the skipped-thread-block case
+        watchdog = DeadlineWatchdog({99: 1e9})
+        report = watchdog.check(trace)
+        assert not report.all_met
+        assert report.violations[0].non_termination
+
+    def test_unsupervised_launches_ignored(self, trace):
+        watchdog = DeadlineWatchdog({0: 1e12})
+        assert watchdog.check(trace).all_met
+
+
+class TestTimelineBridge:
+    def test_all_met_gives_clear_timeline(self, trace, gpu, kernel):
+        launches = build_redundant_workload([kernel])
+        watchdog = DeadlineWatchdog.for_workload(
+            launches, trace.makespan, margin=2.0
+        )
+        timeline = watchdog.check(trace).timeline(gpu, reaction_ms=1.0)
+        timeline.check(Ftti(100.0))
+
+    def test_violation_maps_to_ftti_check(self, trace, gpu):
+        watchdog = DeadlineWatchdog({0: 700.0})  # 700 cycles = 1 us at 700MHz
+        report = watchdog.check(trace)
+        timeline = report.timeline(gpu, reaction_ms=5.0)
+        assert timeline.detected
+        # detected at 0.001 ms, handled at 5.001 ms: inside 100 ms FTTI
+        timeline.check(Ftti(100.0))
+        # but not inside a 1 ms FTTI
+        from repro.errors import SafetyViolation
+
+        with pytest.raises(SafetyViolation):
+            timeline.check(Ftti(1.0))

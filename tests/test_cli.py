@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "B(D) + B(D)" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "friendly" in out and "heavy" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "myocyte" in out
+        assert "backprop" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "streamcluster" in out
+
+    def test_coverage_with_benchmark_option(self, capsys):
+        assert main(["coverage", "--benchmark", "nn"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out.lower()
+        assert "srrs" in out
+
+    def test_policyfit(self, capsys):
+        assert main(["policyfit"]) == 0
+        assert "best" in capsys.readouterr().out
+
+    def test_sweeps(self, capsys):
+        assert main(["sweeps"]) == 0
+        assert "SM-count sweep" in capsys.readouterr().out
+
+    def test_sms_option(self, capsys):
+        assert main(["fig3", "--sms", "4"]) == 0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig2"])

@@ -1,0 +1,41 @@
+"""Smoke tests: every example application runs end to end.
+
+Examples are part of the public surface; each must execute without error
+and uphold its own assertions (they assert the safety properties they
+demonstrate).  Output is captured so the suite stays quiet.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_and_run(name: str) -> None:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 4
+    assert "quickstart" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    _load_and_run(name)
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"

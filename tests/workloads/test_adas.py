@@ -1,0 +1,102 @@
+"""Tests for the ADAS task library and schedulability analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import KernelDescriptor
+from repro.iso26262.asil import Asil
+from repro.iso26262.fault_model import Ftti
+from repro.workloads.adas import (
+    ADAS_TASKS,
+    CAMERA_PERCEPTION,
+    RADAR_CFAR,
+    TRAJECTORY_SCORING,
+    AdasTask,
+    schedulability_report,
+)
+
+
+class TestTaskLibrary:
+    def test_four_tasks_defined(self):
+        assert len(ADAS_TASKS) == 4
+        names = {t.name for t in ADAS_TASKS}
+        assert "camera-perception" in names
+
+    def test_all_tasks_safety_related(self):
+        for task in ADAS_TASKS:
+            assert task.asil >= Asil.C
+            assert task.ftti.milliseconds > 0
+
+    def test_policies_are_diverse_only(self):
+        for task in ADAS_TASKS:
+            assert task.policy in ("srrs", "half")
+
+    def test_invalid_tasks_rejected(self):
+        kernel = KernelDescriptor(name="k", grid_blocks=1,
+                                  threads_per_block=64, work_per_block=10.0)
+        with pytest.raises(ConfigurationError):
+            AdasTask("t", (), 10.0, Asil.D, Ftti(10.0))
+        with pytest.raises(ConfigurationError):
+            AdasTask("t", (kernel,), 0.0, Asil.D, Ftti(10.0))
+        with pytest.raises(ConfigurationError):
+            AdasTask("t", (kernel,), 10.0, Asil.D, Ftti(10.0),
+                     policy="default")
+
+
+class TestSchedulability:
+    def test_all_library_tasks_deployable(self, gpu):
+        # the library is calibrated to be deployable on the paper's GPU
+        for task in ADAS_TASKS:
+            schedule = schedulability_report(task, gpu)
+            assert schedule.schedulable, schedule.summary()
+            assert schedule.recoverable_in_ftti, schedule.summary()
+            assert schedule.deployable
+
+    def test_bound_dominates_observation(self, gpu):
+        for task in ADAS_TASKS:
+            schedule = schedulability_report(task, gpu)
+            assert schedule.observed_ms <= schedule.bound_ms + 1e-9
+
+    def test_utilization_consistent(self, gpu):
+        schedule = schedulability_report(CAMERA_PERCEPTION, gpu)
+        assert schedule.utilization == pytest.approx(
+            schedule.bound_ms / CAMERA_PERCEPTION.period_ms
+        )
+
+    def test_policy_override(self, gpu):
+        schedule = schedulability_report(RADAR_CFAR, gpu, policy="half")
+        assert schedule.policy == "half"
+
+    def test_default_policy_has_no_bound(self, gpu):
+        with pytest.raises(ConfigurationError, match="no sound timing bound"):
+            schedulability_report(CAMERA_PERCEPTION, gpu, policy="default")
+
+    def test_impossible_period_not_schedulable(self, gpu):
+        import dataclasses
+
+        tight = dataclasses.replace(CAMERA_PERCEPTION, period_ms=0.01)
+        schedule = schedulability_report(tight, gpu)
+        assert not schedule.schedulable
+        assert not schedule.deployable
+
+    def test_tight_ftti_not_recoverable(self, gpu):
+        import dataclasses
+
+        tight = dataclasses.replace(
+            TRAJECTORY_SCORING, ftti=Ftti(0.01)
+        )
+        schedule = schedulability_report(tight, gpu)
+        assert not schedule.recoverable_in_ftti
+
+    def test_tmr_costs_more(self, gpu):
+        dmr = schedulability_report(CAMERA_PERCEPTION, gpu, copies=2)
+        tmr = schedulability_report(CAMERA_PERCEPTION, gpu, copies=3)
+        assert tmr.bound_ms > dmr.bound_ms
+
+    def test_summary_format(self, gpu):
+        text = schedulability_report(CAMERA_PERCEPTION, gpu).summary()
+        assert "camera-perception" in text
+        assert "schedulable=True" in text
