@@ -1,0 +1,59 @@
+"""Benchmarks of the declarative Engine and its batch executor.
+
+Tracks the cost of the :mod:`repro.api` facade itself (spec resolution +
+artifact assembly must stay negligible against the simulation) and the
+scaling of ``run_many`` across worker counts.  Run with::
+
+    pytest benchmarks/bench_engine_batch.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.api import Engine, build_scenario
+from repro.analysis.report import render_table
+
+
+def _fig4_specs():
+    # three representative benchmarks x three policies = nine runs
+    return build_scenario(
+        "fig4", benchmarks=("backprop", "hotspot", "lud")
+    )
+
+
+def test_engine_facade_overhead(benchmark):
+    """One engine run of the hotspot benchmark (facade + simulation)."""
+    engine = Engine()
+    specs = build_scenario("benchmark", benchmark="hotspot")
+
+    artifact = benchmark(lambda: engine.run(specs[0]))
+    assert artifact.diversity.fully_diverse
+
+
+def test_run_many_sequential(benchmark):
+    """Nine-run Figure 4 slice, in-process."""
+    engine = Engine()
+    specs = _fig4_specs()
+
+    artifacts = benchmark(lambda: engine.run_many(specs, workers=1))
+    assert len(artifacts) == 9
+
+
+def test_run_many_process_pool(benchmark):
+    """The same nine runs on a four-worker process pool.
+
+    The pool pays a fork+pickle cost per batch, so it only wins once the
+    per-spec simulation time dominates — this bench makes the crossover
+    visible next to :func:`test_run_many_sequential`.
+    """
+    engine = Engine()
+    specs = _fig4_specs()
+
+    artifacts = benchmark(lambda: engine.run_many(specs, workers=4))
+    assert len(artifacts) == 9
+    print()
+    print(render_table(
+        ["run", "policy", "busy(cy)", "diverse"],
+        [[a.spec.label, a.spec.policy, a.timing.busy_cycles,
+          a.diversity.fully_diverse] for a in artifacts],
+        title="Engine batch — Figure 4 slice",
+    ))

@@ -8,6 +8,7 @@ performance are visible (useful when extending the models).
 from __future__ import annotations
 
 from repro.faults.campaign import CampaignConfig, FaultCampaign
+from repro.gpu.config import GPUConfig
 from repro.gpu.kernel import KernelDescriptor, KernelLaunch
 from repro.gpu.scheduler import DefaultScheduler
 from repro.gpu.simulator import GPUSimulator
@@ -29,6 +30,44 @@ def test_simulator_throughput_large_grid(benchmark, gpu):
 
     completed = benchmark(run)
     assert completed == 480  # every block completed exactly once
+
+
+def test_simulator_completion_churn_behind_pinned_blocks(benchmark):
+    """Short blocks completing behind long-lived co-resident blocks.
+
+    Stresses the completion path: resident-block bookkeeping is keyed by
+    ``(instance_id, tb_index)`` and removed in O(1) per finished block.
+    The previous two ``list.remove`` calls scanned past every long-lived
+    block (dataclass equality per element) for each of the thousands of
+    churned blocks — ~18x slower on this workload (6.6 s vs 0.36 s).
+    """
+    from repro.gpu.config import SMConfig
+
+    gpu = GPUConfig(
+        name="wide-64sm", num_sms=64,
+        sm=SMConfig(max_threads=2048, max_blocks=32, registers=65536,
+                    shared_memory=65536),
+        dispatch_latency=10.0,
+    )
+    # one long-running kernel pins ~1024 blocks at the head of the
+    # resident bookkeeping for the whole run
+    pin = KernelDescriptor(name="perf/pin", grid_blocks=1024,
+                           threads_per_block=64, work_per_block=5e6)
+    churn = KernelDescriptor(name="perf/churn", grid_blocks=800,
+                             threads_per_block=64, work_per_block=200.0)
+    launches = [KernelLaunch(kernel=pin, instance_id=0)]
+    for i in range(1, 16):
+        launches.append(
+            KernelLaunch(kernel=churn, instance_id=i,
+                         depends_on=(i - 1,) if i > 1 else ())
+        )
+
+    def run():
+        sim = GPUSimulator(gpu, DefaultScheduler()).run(launches)
+        return len(sim.trace.tb_records)
+
+    completed = benchmark(run)
+    assert completed == 1024 + 15 * 800
 
 
 def test_redundant_manager_throughput(benchmark, gpu):

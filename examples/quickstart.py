@@ -1,39 +1,55 @@
 #!/usr/bin/env python3
-"""Quickstart: diverse-redundant GPU execution in twenty lines.
+"""Quickstart: diverse-redundant GPU execution through the declarative API.
 
-Launches one kernel redundantly under each scheduling policy on the
-paper's 6-SM GPU, and prints what each policy buys you: the default
-scheduler is fastest but leaves redundant copies sharing SMs and time
-slots (common-cause-fault exposure); SRRS and HALF guarantee diversity.
+One :class:`repro.RunSpec` describes a run (GPU + workload + policy +
+redundancy); ``repro.run(spec)`` executes it and returns a uniform
+:class:`repro.RunArtifact`.  Here the same ADAS kernel runs redundantly
+under each scheduling policy: the default scheduler is fastest but leaves
+redundant copies sharing SMs and time slots (common-cause-fault
+exposure); SRRS and HALF guarantee diversity.
 
 Run:
     python examples/quickstart.py
+
+The same runs are reachable from the shell (and a richer single-spec
+variant of this kernel — with a baseline makespan and a fault-injection
+campaign — lives in ``examples/specs/quickstart.json``)::
+
+    python -m repro run --scenario quickstart
+    python -m repro run --spec examples/specs/quickstart.json --json
 """
 
 from __future__ import annotations
 
-from repro import GPUConfig, KernelDescriptor, RedundantKernelManager
+import repro
+
 
 def main() -> None:
-    gpu = GPUConfig.gpgpusim_like()          # 6 SMs, as in the paper
-    kernel = KernelDescriptor(
+    kernel = repro.KernelSpec(
         name="adas/object-detect",
         grid_blocks=36,                      # 6 blocks per SM
         threads_per_block=256,
         work_per_block=4000.0,               # abstract compute cycles
         bytes_per_block=3000.0,              # DRAM traffic per block
     )
+    specs = [
+        repro.RunSpec(
+            workload=repro.WorkloadSpec(kernels=(kernel,)),
+            gpu=repro.GPUSpec(preset="gpgpusim"),  # 6 SMs, as in the paper
+            policy=policy,
+            tag="quickstart",
+        )
+        for policy in ("default", "half", "srrs")
+    ]
 
-    print(f"GPU: {gpu.name} ({gpu.num_sms} SMs)")
     print(f"kernel: {kernel.name}, {kernel.grid_blocks} thread blocks\n")
 
-    for policy in ("default", "half", "srrs"):
-        manager = RedundantKernelManager(gpu, policy)
-        run = manager.run([kernel])
-        d = run.diversity
+    # one spec -> one artifact; batches may fan out with workers=N
+    for spec, artifact in zip(specs, repro.run_many(specs)):
+        d = artifact.diversity
         print(
-            f"{policy:8s} busy={run.sim.trace.busy_cycles:9.0f} cycles  "
-            f"outputs-agree={run.all_clean}  "
+            f"{spec.policy:8s} busy={artifact.timing.busy_cycles:9.0f} cycles  "
+            f"outputs-agree={artifact.comparisons.all_clean}  "
             f"same-SM pairs={d.same_sm_pairs:2d}/{d.total_pairs}  "
             f"overlapping={d.overlapping_pairs:2d}  "
             f"DIVERSE={d.fully_diverse}"
@@ -47,8 +63,11 @@ def main() -> None:
         "SRRS serializes the copies with rotated SM assignment; HALF "
         "splits the SMs between them — either way, every redundant pair "
         "runs on different SMs at different phases, as ISO 26262 ASIL-D "
-        "demands."
+        "demands.\n"
+        "Every artifact serializes: try "
+        "repro.run(spec).to_json(indent=2)."
     )
+
 
 if __name__ == "__main__":
     main()

@@ -9,6 +9,9 @@ replication.
 
 Top-level packages:
 
+* :mod:`repro.api` — the declarative front door: :class:`RunSpec`,
+  :class:`RunArtifact`, the :class:`Engine` facade with parallel batch
+  execution, and the scenario registry;
 * :mod:`repro.gpu` — GPU model, discrete-event timing simulator, kernel
   schedulers (default / SRRS / HALF), COTS end-to-end model;
 * :mod:`repro.redundancy` — redundant execution manager, output
@@ -23,7 +26,22 @@ Top-level packages:
 * :mod:`repro.analysis` — experiment runners regenerating every paper
   figure, and report rendering.
 
-Quickstart::
+Quickstart — one declarative run::
+
+    import repro
+
+    spec = repro.RunSpec(workload=repro.WorkloadSpec(benchmark="hotspot"),
+                         policy="srrs")
+    artifact = repro.run(spec)
+    assert artifact.comparisons.all_clean
+    assert artifact.diversity.fully_diverse
+
+Batches fan out over a process pool and stay bit-deterministic::
+
+    artifacts = repro.run_many(repro.build_scenario("fig4"), workers=4)
+
+The imperative substrate remains available (see ``docs/API.md`` for the
+migration table)::
 
     from repro import GPUConfig, KernelDescriptor, RedundantKernelManager
 
@@ -70,7 +88,24 @@ from repro.redundancy import (
 )
 from repro.workloads import classify_kernel, get_benchmark
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# the api package imports repro.__version__ lazily at run time, so this
+# import must stay below the version assignment
+from repro.api import (
+    Engine,
+    FaultPlanSpec,
+    GPUSpec,
+    KernelSpec,
+    RunArtifact,
+    RunSpec,
+    WorkloadSpec,
+    build_scenario,
+    register_scenario,
+    run,
+    run_many,
+    scenario_names,
+)
 
 __all__ = [
     "__version__",
@@ -109,4 +144,17 @@ __all__ = [
     # workloads
     "classify_kernel",
     "get_benchmark",
+    # declarative api
+    "RunSpec",
+    "GPUSpec",
+    "KernelSpec",
+    "WorkloadSpec",
+    "FaultPlanSpec",
+    "RunArtifact",
+    "Engine",
+    "run",
+    "run_many",
+    "register_scenario",
+    "scenario_names",
+    "build_scenario",
 ]

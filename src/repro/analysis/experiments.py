@@ -3,6 +3,15 @@
 Each function regenerates one paper artifact (or extension experiment)
 and returns structured rows, so benches, tests and EXPERIMENTS.md all
 consume the same code path.  See DESIGN.md's per-experiment index.
+
+.. deprecated::
+    These runners are thin compatibility shims: each one now builds its
+    specs through the scenario registry (:mod:`repro.api.scenarios`) and
+    executes them on the :class:`repro.api.Engine`, then reshapes the
+    uniform :class:`~repro.api.artifact.RunArtifact` list into the legacy
+    row dataclasses.  New code should call the engine directly::
+
+        artifacts = repro.run_many(repro.build_scenario("fig4"), workers=4)
 """
 
 from __future__ import annotations
@@ -10,23 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.faults.campaign import CampaignConfig, CampaignReport, FaultCampaign
+from repro.api.artifact import RunArtifact
+from repro.api.engine import Engine
+from repro.api.scenarios import FIG3_SYNTHETICS, build_scenario
+from repro.faults.campaign import CampaignConfig
 from repro.gpu.config import GPUConfig
-from repro.gpu.cots import COTSDevice, cots_end_to_end
+from repro.gpu.cots import COTSDevice
 from repro.gpu.scheduler.registry import PAPER_POLICIES
-from repro.redundancy.manager import RedundantKernelManager
-from repro.workloads.classify import classify_kernel, recommend_policy
-from repro.workloads.rodinia import (
-    FIG4_BENCHMARKS,
-    FIG5_BENCHMARKS,
-    get_benchmark,
-)
-from repro.workloads.synthetic import (
-    make_friendly_kernel,
-    make_heavy_kernel,
-    make_narrow_kernel,
-    make_short_kernel,
-)
+from repro.workloads.rodinia import FIG4_BENCHMARKS, FIG5_BENCHMARKS
 
 __all__ = [
     "Fig4Row",
@@ -42,6 +42,13 @@ __all__ = [
     "dispatch_latency_sweep",
     "sm_count_sweep",
 ]
+
+_ENGINE = Engine()
+
+
+def _by_tag_and_policy(artifacts: Sequence[RunArtifact]
+                       ) -> Dict[Tuple[str, str], RunArtifact]:
+    return {(a.spec.tag, a.spec.policy): a for a in artifacts}
 
 
 # ----------------------------------------------------------------------
@@ -81,18 +88,17 @@ def fig4_scheduler_comparison(gpu: Optional[GPUConfig] = None,
     HALF and SRRS policies on the 6-SM GPGPU-Sim-like GPU and normalizes
     GPU busy cycles to the default scheduler.
     """
-    gpu = gpu or GPUConfig.gpgpusim_like()
+    artifacts = _by_tag_and_policy(
+        _ENGINE.run_many(build_scenario("fig4", benchmarks=benchmarks, gpu=gpu))
+    )
     rows: List[Fig4Row] = []
     for name in benchmarks:
-        bench = get_benchmark(name)
         cycles: Dict[str, float] = {}
         diverse: Dict[str, bool] = {}
         for policy in PAPER_POLICIES:
-            run = RedundantKernelManager(gpu, policy).run(
-                list(bench.kernels), tag=name
-            )
-            cycles[policy] = run.sim.trace.busy_cycles
-            diverse[policy] = run.diversity.fully_diverse
+            artifact = artifacts[(name, policy)]
+            cycles[policy] = artifact.timing.busy_cycles
+            diverse[policy] = artifact.diversity.fully_diverse
         base = cycles["default"]
         rows.append(
             Fig4Row(
@@ -129,20 +135,17 @@ def fig5_cots_comparison(device: Optional[COTSDevice] = None,
                          benchmarks: Sequence[str] = FIG5_BENCHMARKS
                          ) -> List[Fig5Row]:
     """Regenerate Figure 5: COTS baseline vs redundant-serialized times."""
-    device = device or COTSDevice()
-    rows: List[Fig5Row] = []
-    for name in benchmarks:
-        bench = get_benchmark(name)
-        rows.append(
-            Fig5Row(
-                benchmark=name,
-                baseline_ms=cots_end_to_end(bench, device).total_ms,
-                redundant_ms=cots_end_to_end(
-                    bench, device, redundant=True
-                ).total_ms,
-            )
+    artifacts = _ENGINE.run_many(
+        build_scenario("fig5", benchmarks=benchmarks, device=device)
+    )
+    return [
+        Fig5Row(
+            benchmark=a.cots.benchmark,
+            baseline_ms=a.cots.baseline_ms,
+            redundant_ms=a.cots.redundant_ms,
         )
-    return rows
+        for a in artifacts
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -166,24 +169,18 @@ def fig3_kernel_categories(gpu: Optional[GPUConfig] = None) -> List[Fig3Row]:
     Builds one representative kernel per category (plus a narrow
     myocyte-like one) and reports the measured overlap evidence.
     """
-    gpu = gpu or GPUConfig.gpgpusim_like()
-    kernels = [
-        make_short_kernel(gpu),
-        make_heavy_kernel(gpu),
-        make_friendly_kernel(gpu),
-        make_narrow_kernel(gpu, name="synthetic/narrow-long"),
-    ]
+    artifacts = _ENGINE.run_many(build_scenario("fig3", gpu=gpu))
     rows: List[Fig3Row] = []
-    for kernel in kernels:
-        report = classify_kernel(kernel, gpu)
+    for artifact in artifacts:
+        row = artifact.classification[0]
         rows.append(
             Fig3Row(
-                kernel=kernel.name,
-                category=report.category.value,
-                isolated_cycles=report.isolated_cycles,
-                overlap_fraction=report.overlap_fraction,
-                resident_fraction=report.resident_fraction,
-                recommended_policy=recommend_policy(report.category),
+                kernel=row.kernel,
+                category=row.category,
+                isolated_cycles=row.isolated_cycles,
+                overlap_fraction=row.overlap_fraction,
+                resident_fraction=row.resident_fraction,
+                recommended_policy=row.recommended_policy,
             )
         )
     return rows
@@ -209,26 +206,20 @@ def fault_coverage_by_policy(gpu: Optional[GPUConfig] = None,
                              config: Optional[CampaignConfig] = None
                              ) -> List[CoverageRow]:
     """Run the E5 campaign for all three policies on one benchmark."""
-    gpu = gpu or GPUConfig.gpgpusim_like()
-    config = config or CampaignConfig()
-    bench = get_benchmark(benchmark)
-    rows: List[CoverageRow] = []
-    for policy in PAPER_POLICIES:
-        run = RedundantKernelManager(gpu, policy).run(
-            list(bench.kernels), tag=benchmark
+    artifacts = _ENGINE.run_many(
+        build_scenario("coverage", benchmark=benchmark, gpu=gpu, config=config)
+    )
+    return [
+        CoverageRow(
+            policy=a.faults.policy,
+            total=a.faults.total,
+            masked=a.faults.masked,
+            detected=a.faults.detected,
+            sdc=a.faults.sdc,
+            coverage=a.faults.detection_coverage,
         )
-        report = FaultCampaign(run).run(config)
-        rows.append(
-            CoverageRow(
-                policy=report.policy,
-                total=report.total,
-                masked=report.masked,
-                detected=report.detected,
-                sdc=report.sdc,
-                coverage=report.detection_coverage,
-            )
-        )
-    return rows
+        for a in artifacts
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -251,27 +242,24 @@ def policy_fit_matrix(gpu: Optional[GPUConfig] = None) -> List[PolicyFitRow]:
     Expected: SRRS wins for short and heavy kernels, HALF for friendly
     ones — with the narrow-long kernel as the extreme SRRS loss case.
     """
-    gpu = gpu or GPUConfig.gpgpusim_like()
-    kernels = [
-        make_short_kernel(gpu),
-        make_heavy_kernel(gpu),
-        make_friendly_kernel(gpu),
-        make_narrow_kernel(gpu, name="synthetic/narrow-long"),
-    ]
+    artifacts = _by_tag_and_policy(
+        _ENGINE.run_many(build_scenario("policyfit", gpu=gpu))
+    )
     rows: List[PolicyFitRow] = []
-    for kernel in kernels:
-        category = classify_kernel(kernel, gpu).category
-        cycles: Dict[str, float] = {}
-        for policy in PAPER_POLICIES:
-            run = RedundantKernelManager(gpu, policy).run([kernel])
-            cycles[policy] = run.sim.trace.busy_cycles
+    for name in FIG3_SYNTHETICS:
+        tag = f"synthetic/{name}"
+        cycles = {
+            policy: artifacts[(tag, policy)].timing.busy_cycles
+            for policy in PAPER_POLICIES
+        }
+        classification = artifacts[(tag, PAPER_POLICIES[0])].classification[0]
         base = cycles["default"]
         half_ratio = cycles["half"] / base
         srrs_ratio = cycles["srrs"] / base
         rows.append(
             PolicyFitRow(
-                kernel=kernel.name,
-                category=category.value,
+                kernel=classification.kernel,
+                category=classification.category,
                 half_ratio=half_ratio,
                 srrs_ratio=srrs_ratio,
                 best_policy="half" if half_ratio < srrs_ratio else "srrs",
@@ -293,17 +281,19 @@ def dispatch_latency_sweep(latencies: Sequence[float],
         ``(latency, half_ratio, srrs_ratio)`` tuples — how each policy's
         overhead depends on the serial-dispatch gap.
     """
-    from dataclasses import replace
-
-    base_gpu = gpu or GPUConfig.gpgpusim_like()
-    bench = get_benchmark(benchmark)
+    artifacts = _by_tag_and_policy(
+        _ENGINE.run_many(
+            build_scenario("sweep-dispatch", latencies=latencies,
+                           benchmark=benchmark, gpu=gpu)
+        )
+    )
     rows: List[Tuple[float, float, float]] = []
     for latency in latencies:
-        cfg = replace(base_gpu, dispatch_latency=latency)
-        cycles = {}
-        for policy in PAPER_POLICIES:
-            run = RedundantKernelManager(cfg, policy).run(list(bench.kernels))
-            cycles[policy] = run.sim.trace.busy_cycles
+        tag = f"{benchmark}@{latency:g}"
+        cycles = {
+            policy: artifacts[(tag, policy)].timing.busy_cycles
+            for policy in PAPER_POLICIES
+        }
         rows.append(
             (
                 latency,
@@ -322,15 +312,19 @@ def sm_count_sweep(sm_counts: Sequence[int], benchmark: str = "hotspot",
     Returns:
         ``(num_sms, half_ratio, srrs_ratio)`` tuples.
     """
-    base_gpu = gpu or GPUConfig.gpgpusim_like()
-    bench = get_benchmark(benchmark)
+    artifacts = _by_tag_and_policy(
+        _ENGINE.run_many(
+            build_scenario("sweep-sms", sm_counts=sm_counts,
+                           benchmark=benchmark, gpu=gpu)
+        )
+    )
     rows: List[Tuple[int, float, float]] = []
     for count in sm_counts:
-        cfg = base_gpu.with_sms(count)
-        cycles = {}
-        for policy in PAPER_POLICIES:
-            run = RedundantKernelManager(cfg, policy).run(list(bench.kernels))
-            cycles[policy] = run.sim.trace.busy_cycles
+        tag = f"{benchmark}@{count}sm"
+        cycles = {
+            policy: artifacts[(tag, policy)].timing.busy_cycles
+            for policy in PAPER_POLICIES
+        }
         rows.append(
             (
                 count,

@@ -1,0 +1,81 @@
+"""One declarative front door for every run (:class:`RunSpec` →
+:class:`Engine` → :class:`RunArtifact`).
+
+The subsystem has three parts:
+
+* :mod:`repro.api.spec` — frozen, JSON-round-trippable run descriptions
+  (GPU + workload + policy + redundancy + optional fault plan / COTS /
+  classification options);
+* :mod:`repro.api.engine` — the :class:`Engine` facade with ``run(spec)``
+  and ``run_many(specs, workers=N)`` (deterministic process-pool batch
+  execution);
+* :mod:`repro.api.scenarios` — the registry of named, parameterized spec
+  builders covering every paper figure and extension experiment.
+
+Quickstart::
+
+    import repro
+
+    spec = repro.RunSpec(workload=repro.WorkloadSpec(benchmark="hotspot"))
+    artifact = repro.run(spec)
+    assert artifact.diversity.fully_diverse
+
+    specs = repro.build_scenario("fig4")
+    artifacts = repro.run_many(specs, workers=4)
+"""
+
+from repro.api.artifact import (
+    ClassificationRow,
+    ComparisonSummary,
+    CotsSummary,
+    DiversitySummary,
+    FaultSummary,
+    RunArtifact,
+    TimingSummary,
+)
+from repro.api.engine import Engine, run, run_many
+from repro.api.scenarios import (
+    Scenario,
+    build_scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.api.spec import (
+    CotsSpec,
+    FaultPlanSpec,
+    GPUSpec,
+    KernelSpec,
+    RunSpec,
+    SMSpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    # specs
+    "RunSpec",
+    "GPUSpec",
+    "SMSpec",
+    "KernelSpec",
+    "WorkloadSpec",
+    "FaultPlanSpec",
+    "CotsSpec",
+    # artifacts
+    "RunArtifact",
+    "TimingSummary",
+    "DiversitySummary",
+    "ComparisonSummary",
+    "ClassificationRow",
+    "CotsSummary",
+    "FaultSummary",
+    # engine
+    "Engine",
+    "run",
+    "run_many",
+    # scenarios
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "build_scenario",
+]

@@ -1,0 +1,272 @@
+"""Uniform run results — the output side of :mod:`repro.api`.
+
+Every :meth:`Engine.run <repro.api.engine.Engine.run>` returns one
+:class:`RunArtifact`: a frozen bundle of plain-data summaries (timing,
+diversity, comparisons, classification, COTS end-to-end, fault campaign)
+plus provenance (the originating spec, its config hash, the package
+version and the scheduler label).  Artifacts are picklable — the batch
+executor streams them back from worker processes — and JSON-round-
+trippable for storage and tooling::
+
+    artifact = repro.run(spec)
+    recovered = RunArtifact.from_json(artifact.to_json())
+    assert recovered == artifact
+
+Sections that a spec did not request are ``None`` (or empty for the
+per-kernel classification), never fabricated.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.api.spec import RunSpec, _flat_from_dict, _flat_to_dict
+from repro.errors import ConfigurationError
+from repro.redundancy.diversity import DiversityReport
+
+__all__ = [
+    "TimingSummary",
+    "DiversitySummary",
+    "ComparisonSummary",
+    "ClassificationRow",
+    "CotsSummary",
+    "FaultSummary",
+    "RunArtifact",
+]
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Timing of the simulated execution (cycles unless noted).
+
+    Attributes:
+        busy_cycles: GPU-active cycles (the Figure 4 metric).
+        makespan: first-arrival-to-last-completion time.
+        makespan_ms: makespan converted at the GPU's core clock.
+        events: discrete events the simulator processed (diagnostics).
+        total_kernel_cycles: sum of per-launch execution times.
+        baseline_makespan: makespan of the non-redundant chain under the
+            default scheduler (present when the spec asked for a baseline).
+    """
+
+    busy_cycles: float
+    makespan: float
+    makespan_ms: float
+    events: int
+    total_kernel_cycles: float
+    baseline_makespan: Optional[float] = None
+
+    @property
+    def redundancy_overhead(self) -> Optional[float]:
+        """``makespan / baseline_makespan`` when a baseline was recorded."""
+        if self.baseline_makespan is None or self.baseline_makespan == 0:
+            return None
+        return self.makespan / self.baseline_makespan
+
+    to_dict = _flat_to_dict
+    from_dict = classmethod(_flat_from_dict)
+
+
+@dataclass(frozen=True)
+class DiversitySummary:
+    """Aggregate of a :class:`repro.redundancy.diversity.DiversityReport`."""
+
+    total_pairs: int
+    same_sm_pairs: int
+    overlapping_pairs: int
+    phase_aligned_pairs: int
+    spatially_diverse: bool
+    temporally_diverse: bool
+    fully_diverse: bool
+    min_time_slack: Optional[float]
+    min_phase_separation: Optional[float]
+    phase_tolerance: float
+
+    @classmethod
+    def from_report(cls, report: DiversityReport) -> "DiversitySummary":
+        """Summarise a full diversity report."""
+        return cls(
+            total_pairs=report.total_pairs,
+            same_sm_pairs=report.same_sm_pairs,
+            overlapping_pairs=report.overlapping_pairs,
+            phase_aligned_pairs=report.phase_aligned_pairs,
+            spatially_diverse=report.spatially_diverse,
+            temporally_diverse=report.temporally_diverse,
+            fully_diverse=report.fully_diverse,
+            min_time_slack=report.min_time_slack,
+            min_phase_separation=report.min_phase_separation,
+            phase_tolerance=report.phase_tolerance,
+        )
+
+    to_dict = _flat_to_dict
+    from_dict = classmethod(_flat_from_dict)
+
+
+@dataclass(frozen=True)
+class ComparisonSummary:
+    """DCLS output-comparison outcome across the run's logical kernels."""
+
+    logical_kernels: int
+    error_detected: bool
+    silent_corruption: bool
+    all_clean: bool
+
+    to_dict = _flat_to_dict
+    from_dict = classmethod(_flat_from_dict)
+
+
+@dataclass(frozen=True)
+class ClassificationRow:
+    """Figure 3 classification evidence for one kernel."""
+
+    kernel: str
+    category: str
+    isolated_cycles: float
+    overlap_fraction: float
+    resident_fraction: float
+    recommended_policy: str
+
+    to_dict = _flat_to_dict
+    from_dict = classmethod(_flat_from_dict)
+
+
+@dataclass(frozen=True)
+class CotsSummary:
+    """COTS end-to-end model outcome (the Figure 5 bars, milliseconds)."""
+
+    benchmark: str
+    baseline_ms: float
+    redundant_ms: float
+    copies: int
+
+    @property
+    def ratio(self) -> float:
+        """Redundant-serialized over baseline end-to-end time."""
+        return self.redundant_ms / self.baseline_ms
+
+    to_dict = _flat_to_dict
+    from_dict = classmethod(_flat_from_dict)
+
+
+@dataclass(frozen=True)
+class FaultSummary:
+    """Fault-injection campaign outcome (experiment E5)."""
+
+    policy: str
+    total: int
+    masked: int
+    detected: int
+    sdc: int
+    detection_coverage: float
+    by_kind: Tuple[Tuple[str, Tuple[Tuple[str, int], ...]], ...] = ()
+
+    def by_kind_dict(self) -> Dict[str, Dict[str, int]]:
+        """``fault-kind -> outcome -> count`` as nested dicts."""
+        return {kind: dict(outcomes) for kind, outcomes in self.by_kind}
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = _flat_to_dict(self)
+        data["by_kind"] = [
+            [kind, [list(o) for o in outcomes]] for kind, outcomes in self.by_kind
+        ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSummary":
+        payload = dict(data)
+        payload["by_kind"] = tuple(
+            (kind, tuple((name, int(count)) for name, count in outcomes))
+            for kind, outcomes in payload.get("by_kind") or ()
+        )
+        return _flat_from_dict(cls, payload)
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunArtifact:
+    """The uniform result of one engine run.
+
+    Attributes:
+        spec: the originating :class:`~repro.api.spec.RunSpec`.
+        config_hash: :attr:`RunSpec.config_hash` at execution time.
+        version: ``repro.__version__`` that produced the artifact.
+        scheduler: ``describe()`` of the scheduling policy (``None`` when
+            the spec skipped simulation).
+        timing / diversity / comparisons / classification / cots / faults:
+            the requested result sections (unrequested sections are
+            ``None`` / empty).
+    """
+
+    spec: RunSpec
+    config_hash: str
+    version: str
+    scheduler: Optional[str] = None
+    timing: Optional[TimingSummary] = None
+    diversity: Optional[DiversitySummary] = None
+    comparisons: Optional[ComparisonSummary] = None
+    classification: Tuple[ClassificationRow, ...] = ()
+    cots: Optional[CotsSummary] = None
+    faults: Optional[FaultSummary] = None
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (nested dicts/lists, JSON-compatible)."""
+        def opt(section) -> Optional[Dict[str, Any]]:
+            return section.to_dict() if section is not None else None
+
+        return {
+            "spec": self.spec.to_dict(),
+            "config_hash": self.config_hash,
+            "version": self.version,
+            "scheduler": self.scheduler,
+            "timing": opt(self.timing),
+            "diversity": opt(self.diversity),
+            "comparisons": opt(self.comparisons),
+            "classification": [r.to_dict() for r in self.classification],
+            "cots": opt(self.cots),
+            "faults": opt(self.faults),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunArtifact":
+        """Inverse of :meth:`to_dict`."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"RunArtifact expects a mapping, got {data!r}"
+            )
+        if "spec" not in data:
+            raise ConfigurationError("RunArtifact requires a spec")
+        sections = {
+            "timing": TimingSummary,
+            "diversity": DiversitySummary,
+            "comparisons": ComparisonSummary,
+            "cots": CotsSummary,
+            "faults": FaultSummary,
+        }
+        payload = dict(data)
+        payload["spec"] = RunSpec.from_dict(payload["spec"])
+        for name, section_cls in sections.items():
+            if payload.get(name) is not None:
+                payload[name] = section_cls.from_dict(payload[name])
+        payload["classification"] = tuple(
+            ClassificationRow.from_dict(r)
+            for r in payload.get("classification") or ()
+        )
+        return _flat_from_dict(cls, payload)
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """Canonical JSON form (sorted keys)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunArtifact":
+        """Parse an artifact from its JSON form."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"invalid RunArtifact JSON: {exc}"
+            ) from None
+        return cls.from_dict(data)

@@ -1,0 +1,296 @@
+"""The :class:`Engine` facade — one executor for every kind of run.
+
+The engine turns a declarative :class:`~repro.api.spec.RunSpec` into a
+:class:`~repro.api.artifact.RunArtifact` by driving the existing
+subsystems (simulator, redundancy manager, classifier, COTS model, fault
+campaign) behind a single, uniform entry point::
+
+    import repro
+
+    artifact = repro.run(repro.RunSpec(
+        workload=repro.WorkloadSpec(benchmark="hotspot"), policy="srrs",
+    ))
+    assert artifact.diversity.fully_diverse
+
+Batch execution (:meth:`Engine.run_many`) fans specs out over a process
+pool.  Every model in the reproduction is deterministic and fault seeds
+are fixed per spec, so the artifact list is identical for any worker
+count — ``workers=4`` only changes the wall-clock, never the results.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.api.artifact import (
+    ClassificationRow,
+    ComparisonSummary,
+    CotsSummary,
+    DiversitySummary,
+    FaultSummary,
+    RunArtifact,
+    TimingSummary,
+)
+from repro.api.spec import RunSpec
+from repro.errors import ConfigurationError
+from repro.faults.campaign import FaultCampaign
+from repro.gpu.config import GPUConfig
+from repro.gpu.cots import cots_end_to_end
+from repro.gpu.kernel import KernelDescriptor, dependent_chain
+from repro.gpu.scheduler.registry import make_scheduler
+from repro.gpu.simulator import GPUSimulator, SimulationResult
+from repro.redundancy.diversity import (
+    DEFAULT_PHASE_TOLERANCE,
+    analyze_diversity,
+)
+from repro.redundancy.manager import RedundantKernelManager, RedundantRunResult
+from repro.workloads.classify import classify_kernel, recommend_policy
+from repro.workloads.rodinia import get_benchmark
+
+__all__ = ["Engine", "run", "run_many"]
+
+
+def _worker_run(item: Tuple[RunSpec, bool]) -> RunArtifact:
+    """Process-pool entry point (must be module-level to pickle)."""
+    spec, validate = item
+    return Engine(validate=validate).run(spec)
+
+
+class Engine:
+    """Executes :class:`RunSpec` objects and returns :class:`RunArtifact`.
+
+    Args:
+        validate: forward the simulator's trace-validation switch (on by
+            default; disabling buys a few percent of run time).
+    """
+
+    def __init__(self, *, validate: bool = True) -> None:
+        self._validate = validate
+
+    # ------------------------------------------------------------------
+    # single run
+    # ------------------------------------------------------------------
+    def run(self, spec: RunSpec) -> RunArtifact:
+        """Execute one spec.
+
+        Raises:
+            ConfigurationError: for specs whose options do not fit their
+                workload (e.g. a fault plan on a workload with no kernels).
+        """
+        gpu = spec.gpu.to_config()
+        kernels = spec.workload.resolve(gpu)
+
+        scheduler_name: Optional[str] = None
+        timing: Optional[TimingSummary] = None
+        diversity: Optional[DiversitySummary] = None
+        comparisons: Optional[ComparisonSummary] = None
+        faults: Optional[FaultSummary] = None
+
+        if spec.simulate and kernels:
+            if spec.effective_copies >= 2:
+                (timing, diversity, comparisons, faults,
+                 scheduler_name) = self._run_redundant(spec, gpu, kernels)
+            else:
+                sim = self._run_plain(spec, gpu, kernels)
+                scheduler_name = sim.scheduler_name
+                timing = self._timing(sim, gpu)
+        elif spec.faults is not None:
+            raise ConfigurationError(
+                f"spec {spec.label!r}: a fault campaign needs a simulated "
+                "redundant run, but the workload has no kernel chain"
+            )
+
+        classification = (
+            self._classify(kernels, gpu) if spec.classify else ()
+        )
+        cots = self._cots(spec) if spec.cots is not None else None
+
+        from repro import __version__
+
+        return RunArtifact(
+            spec=spec,
+            config_hash=spec.config_hash,
+            version=__version__,
+            scheduler=scheduler_name,
+            timing=timing,
+            diversity=diversity,
+            comparisons=comparisons,
+            classification=classification,
+            cots=cots,
+            faults=faults,
+        )
+
+    # ------------------------------------------------------------------
+    # batch execution
+    # ------------------------------------------------------------------
+    def run_many(self, specs: Iterable[RunSpec], *,
+                 workers: int = 1) -> List[RunArtifact]:
+        """Execute many specs, optionally on a process pool.
+
+        Results are returned in spec order and are identical for any
+        ``workers`` value (every run is deterministic and seeded per
+        spec).
+
+        Args:
+            specs: the run specifications.
+            workers: process count; ``1`` executes in-process.
+        """
+        return list(self.stream(specs, workers=workers))
+
+    def stream(self, specs: Iterable[RunSpec], *,
+               workers: int = 1) -> Iterator[RunArtifact]:
+        """Like :meth:`run_many` but yields artifacts as they complete.
+
+        Artifacts are yielded in spec order (the pool's map preserves
+        order while executing out-of-order).  Argument validation happens
+        eagerly, before the returned iterator is consumed.
+        """
+        spec_list = list(specs)
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        return self._stream(spec_list, workers)
+
+    def _stream(self, spec_list: List[RunSpec],
+                workers: int) -> Iterator[RunArtifact]:
+        if workers == 1 or len(spec_list) <= 1:
+            for spec in spec_list:
+                yield self.run(spec)
+            return
+        items = [(spec, self._validate) for spec in spec_list]
+        with ProcessPoolExecutor(max_workers=min(workers, len(spec_list))) as pool:
+            for artifact in pool.map(_worker_run, items):
+                yield artifact
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _run_redundant(self, spec: RunSpec, gpu: GPUConfig,
+                       kernels: Sequence[KernelDescriptor]):
+        manager = RedundantKernelManager(
+            gpu, spec.policy, copies=spec.effective_copies,
+            validate=self._validate,
+        )
+        run = manager.run(list(kernels), tag=spec.tag)
+        baseline = (
+            manager.baseline_makespan(list(kernels), tag=spec.tag)
+            if spec.baseline else None
+        )
+        timing = self._timing(run.sim, gpu, baseline=baseline)
+        diversity = DiversitySummary.from_report(
+            self._diversity_report(spec, run, kernels)
+        )
+        comparisons = ComparisonSummary(
+            logical_kernels=len(run.comparisons),
+            error_detected=run.error_detected,
+            silent_corruption=run.silent_corruption,
+            all_clean=run.all_clean,
+        )
+        faults = self._campaign(spec, run) if spec.faults is not None else None
+        return timing, diversity, comparisons, faults, run.sim.scheduler_name
+
+    def _run_plain(self, spec: RunSpec, gpu: GPUConfig,
+                   kernels: Sequence[KernelDescriptor]) -> SimulationResult:
+        launches = dependent_chain(list(kernels), tag=spec.tag)
+        simulator = GPUSimulator(
+            gpu, make_scheduler(spec.policy), validate=self._validate
+        )
+        return simulator.run(launches)
+
+    @staticmethod
+    def _timing(sim: SimulationResult, gpu: GPUConfig, *,
+                baseline: Optional[float] = None) -> TimingSummary:
+        return TimingSummary(
+            busy_cycles=sim.trace.busy_cycles,
+            makespan=sim.makespan,
+            makespan_ms=gpu.cycles_to_ms(sim.makespan),
+            events=sim.events,
+            total_kernel_cycles=sim.total_kernel_cycles(),
+            baseline_makespan=baseline,
+        )
+
+    @staticmethod
+    def _diversity_report(spec: RunSpec, run: RedundantRunResult,
+                          kernels: Sequence[KernelDescriptor]):
+        if spec.phase_tolerance == DEFAULT_PHASE_TOLERANCE:
+            return run.diversity
+        work_hint = max(k.work_per_block for k in kernels)
+        return analyze_diversity(
+            run.sim.trace, copy_a=0, copy_b=1, work_per_block=work_hint,
+            phase_tolerance=spec.phase_tolerance,
+        )
+
+    def _campaign(self, spec: RunSpec,
+                  run: RedundantRunResult) -> FaultSummary:
+        assert spec.faults is not None
+        config = spec.faults.to_config(seed=spec.seed)
+        report = FaultCampaign(run).run(config)
+        by_kind = tuple(
+            (
+                kind,
+                tuple(
+                    (outcome.name.lower(), count)
+                    for outcome, count in sorted(
+                        outcomes.items(), key=lambda kv: kv[0].name
+                    )
+                ),
+            )
+            for kind, outcomes in sorted(report.by_kind.items())
+        )
+        return FaultSummary(
+            policy=report.policy,
+            total=report.total,
+            masked=report.masked,
+            detected=report.detected,
+            sdc=report.sdc,
+            detection_coverage=report.detection_coverage,
+            by_kind=by_kind,
+        )
+
+    @staticmethod
+    def _classify(kernels: Sequence[KernelDescriptor],
+                  gpu: GPUConfig) -> Tuple[ClassificationRow, ...]:
+        rows = []
+        for kernel in kernels:
+            report = classify_kernel(kernel, gpu)
+            rows.append(
+                ClassificationRow(
+                    kernel=kernel.name,
+                    category=report.category.value,
+                    isolated_cycles=report.isolated_cycles,
+                    overlap_fraction=report.overlap_fraction,
+                    resident_fraction=report.resident_fraction,
+                    recommended_policy=recommend_policy(report.category),
+                )
+            )
+        return tuple(rows)
+
+    @staticmethod
+    def _cots(spec: RunSpec) -> CotsSummary:
+        assert spec.cots is not None and spec.workload.benchmark is not None
+        benchmark = get_benchmark(spec.workload.benchmark)
+        device = spec.cots.to_device()
+        copies = max(2, spec.effective_copies)
+        baseline = cots_end_to_end(benchmark, device)
+        redundant = cots_end_to_end(
+            benchmark, device, redundant=True, copies=copies
+        )
+        return CotsSummary(
+            benchmark=benchmark.name,
+            baseline_ms=baseline.total_ms,
+            redundant_ms=redundant.total_ms,
+            copies=copies,
+        )
+
+
+_DEFAULT_ENGINE = Engine()
+
+
+def run(spec: RunSpec) -> RunArtifact:
+    """Execute one spec on a default engine (``repro.run(spec)``)."""
+    return _DEFAULT_ENGINE.run(spec)
+
+
+def run_many(specs: Iterable[RunSpec], *, workers: int = 1) -> List[RunArtifact]:
+    """Execute many specs on a default engine (see :meth:`Engine.run_many`)."""
+    return _DEFAULT_ENGINE.run_many(specs, workers=workers)

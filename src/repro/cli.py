@@ -1,6 +1,6 @@
 """Command-line interface: regenerate any paper artifact from a shell.
 
-Usage::
+Figure commands (legacy front door, kept stable)::
 
     python -m repro fig1            # ASIL decomposition examples
     python -m repro fig3            # kernel categories
@@ -11,6 +11,16 @@ Usage::
     python -m repro sweeps          # dispatch-latency / SM-count ablations
     python -m repro all             # everything above
 
+Declarative front door (:mod:`repro.api`)::
+
+    python -m repro scenarios                       # list the registry
+    python -m repro run --spec spec.json            # one RunSpec file
+    python -m repro run --scenario fig4 --json      # a named scenario
+    python -m repro batch a.json b.json --workers 4 # parallel batch
+
+``run``/``batch`` accept ``--json`` to emit the full artifact(s) as JSON;
+spec files may hold a single RunSpec object or a list of them.
+
 Options: ``--sms N`` changes the GPU size for the simulated artifacts,
 ``--benchmark NAME`` selects the workload for ``coverage``.
 """
@@ -18,7 +28,10 @@ Options: ``--sms N`` changes the GPU size for the simulated artifacts,
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.experiments import (
@@ -31,6 +44,11 @@ from repro.analysis.experiments import (
     sm_count_sweep,
 )
 from repro.analysis.report import render_table
+from repro.api.artifact import RunArtifact
+from repro.api.engine import Engine
+from repro.api.scenarios import get_scenario, scenario_names
+from repro.api.spec import RunSpec
+from repro.errors import ConfigurationError, ReproError
 from repro.gpu.config import GPUConfig
 from repro.iso26262.decomposition import FIGURE1_EXAMPLES
 
@@ -126,39 +144,190 @@ def _gpu(args: argparse.Namespace) -> GPUConfig:
     return GPUConfig.gpgpusim_like(num_sms=args.sms)
 
 
+# ----------------------------------------------------------------------
+# declarative front door: run / batch / scenarios
+# ----------------------------------------------------------------------
+def _load_specs(path: str) -> List[RunSpec]:
+    """Load one spec file (a single RunSpec object or a list of them)."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read spec file {path!r}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path!r} is not valid JSON: {exc}")
+    entries = data if isinstance(data, list) else [data]
+    return [RunSpec.from_dict(entry) for entry in entries]
+
+
+def _scenario_specs(args: argparse.Namespace) -> List[RunSpec]:
+    """Build a scenario's specs from the forwarded CLI params.
+
+    Raises:
+        ConfigurationError: when a given option is not a parameter of the
+            scenario's builder (silently ignoring it would run a
+            different configuration than the user asked for).
+    """
+    scenario = get_scenario(args.scenario)
+    accepted = set(inspect.signature(scenario.builder).parameters)
+    params = {}
+    for name, value in (("sms", args.sms), ("benchmark", args.benchmark),
+                        ("policy", args.policy)):
+        if value is None:
+            continue
+        if name not in accepted:
+            raise ConfigurationError(
+                f"scenario {scenario.name!r} does not accept --{name}; "
+                f"its parameters are: {', '.join(sorted(accepted))}"
+            )
+        params[name] = value
+    return scenario.build(**params)
+
+
+def _artifact_table(artifacts: Sequence[RunArtifact], title: str) -> str:
+    rows = []
+    for a in artifacts:
+        timing = f"{a.timing.busy_cycles:.0f}" if a.timing else "-"
+        diverse = str(a.diversity.fully_diverse) if a.diversity else "-"
+        clean = str(a.comparisons.all_clean) if a.comparisons else "-"
+        coverage = (
+            f"{a.faults.detection_coverage:.4f}" if a.faults else "-"
+        )
+        cots = f"{a.cots.ratio:.3f}" if a.cots else "-"
+        category = (
+            a.classification[0].category if a.classification else "-"
+        )
+        rows.append([a.spec.label, a.spec.policy, timing, diverse, clean,
+                     coverage, cots, category, a.config_hash])
+    return render_table(
+        ["run", "policy", "busy(cy)", "diverse", "clean", "coverage",
+         "cots", "category", "config"],
+        rows,
+        title=title,
+    )
+
+
+def _emit(artifacts: List[RunArtifact], *, as_json: bool, single: bool,
+          title: str) -> str:
+    if as_json:
+        if single and len(artifacts) == 1:
+            return artifacts[0].to_json(indent=2)
+        return json.dumps(
+            [a.to_dict() for a in artifacts], sort_keys=True, indent=2
+        )
+    return _artifact_table(artifacts, title)
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    if bool(args.spec) == bool(args.scenario):
+        raise ConfigurationError(
+            "run needs exactly one of --spec FILE or --scenario NAME"
+        )
+    if args.spec:
+        ignored = [name for name, value in (("sms", args.sms),
+                                            ("benchmark", args.benchmark),
+                                            ("policy", args.policy))
+                   if value is not None]
+        if ignored:
+            raise ConfigurationError(
+                f"--{'/--'.join(ignored)} only applies to --scenario; a "
+                "--spec file fully describes its run — edit the file instead"
+            )
+        specs = _load_specs(args.spec)
+        title = f"run — {args.spec}"
+    else:
+        specs = _scenario_specs(args)
+        title = f"run — scenario {args.scenario!r}"
+    artifacts = Engine().run_many(specs, workers=args.workers)
+    return _emit(artifacts, as_json=args.json, single=len(specs) == 1,
+                 title=title)
+
+
+def _cmd_batch(args: argparse.Namespace) -> str:
+    specs: List[RunSpec] = []
+    for path in args.specs:
+        specs.extend(_load_specs(path))
+    artifacts = Engine().run_many(specs, workers=args.workers)
+    return _emit(artifacts, as_json=args.json, single=False,
+                 title=f"batch — {len(specs)} runs, {args.workers} worker(s)")
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> str:
+    return render_table(
+        ["scenario", "description"],
+        [[name, get_scenario(name).description] for name in scenario_names()],
+        title="Registered scenarios (python -m repro run --scenario NAME)",
+    )
+
+
+# ----------------------------------------------------------------------
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's figures and extension "
                     "experiments (Alcaide et al., DATE 2019).",
     )
-    parser.add_argument(
-        "command",
-        choices=sorted(_COMMANDS) + ["all"],
-        help="artifact to regenerate",
+    sub = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    for name in sorted(_COMMANDS) + ["all"]:
+        p = sub.add_parser(name, help=f"regenerate the {name} artifact(s)")
+        p.add_argument(
+            "--sms", type=int, default=6,
+            help="number of SMs for the simulated artifacts (default 6)",
+        )
+        p.add_argument(
+            "--benchmark", default="hotspot",
+            help="workload for the coverage command (default hotspot)",
+        )
+
+    run_p = sub.add_parser(
+        "run", help="execute a RunSpec file or a registered scenario"
     )
-    parser.add_argument(
-        "--sms", type=int, default=6,
-        help="number of SMs for the simulated artifacts (default 6)",
+    run_p.add_argument("--spec", help="path to a RunSpec JSON file")
+    run_p.add_argument("--scenario", help="registered scenario name")
+    run_p.add_argument("--sms", type=int, default=None,
+                       help="GPU size forwarded to the scenario builder")
+    run_p.add_argument("--benchmark", default=None,
+                       help="benchmark forwarded to the scenario builder")
+    run_p.add_argument("--policy", default=None,
+                       help="policy forwarded to the scenario builder")
+    run_p.add_argument("--workers", type=int, default=1,
+                       help="process-pool size (default 1)")
+    run_p.add_argument("--json", action="store_true",
+                       help="emit full artifact JSON instead of a table")
+
+    batch_p = sub.add_parser(
+        "batch", help="execute many RunSpec files on a process pool"
     )
-    parser.add_argument(
-        "--benchmark", default="hotspot",
-        help="workload for the coverage command (default hotspot)",
-    )
+    batch_p.add_argument("specs", nargs="+", metavar="SPEC.json",
+                         help="spec files (each a RunSpec or a list)")
+    batch_p.add_argument("--workers", type=int, default=4,
+                         help="process-pool size (default 4)")
+    batch_p.add_argument("--json", action="store_true",
+                         help="emit full artifact JSON instead of a table")
+
+    sub.add_parser("scenarios", help="list the registered scenarios")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    if args.command == "all":
-        names: List[str] = sorted(_COMMANDS)
-    else:
-        names = [args.command]
-    outputs = []
-    for name in names:
-        outputs.append(_COMMANDS[name](args))
-    print("\n\n".join(outputs))
+    try:
+        if args.command == "run":
+            print(_cmd_run(args))
+        elif args.command == "batch":
+            print(_cmd_batch(args))
+        elif args.command == "scenarios":
+            print(_cmd_scenarios(args))
+        elif args.command == "all":
+            print("\n\n".join(
+                _COMMANDS[name](args) for name in sorted(_COMMANDS)
+            ))
+        else:
+            print(_COMMANDS[args.command](args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

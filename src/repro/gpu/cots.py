@@ -24,7 +24,7 @@ are grouped in :class:`COTSDevice` with GTX-1050-Ti-flavoured defaults.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.workloads.rodinia import COTSProfile, RodiniaBenchmark
@@ -43,6 +43,8 @@ class COTSDevice:
         h2d_gbps / d2h_gbps: effective transfer bandwidths (GB/s).
         launch_overhead_ms: host-side cost per kernel-launch command.
         alloc_ms: cost per ``cudaMalloc``.
+        free_ms: cost per ``cudaFree`` (0.0 by default for backward
+            compatibility with profiles that fold it into ``cpu_ms``).
         compare_gbps: DCLS output-comparison throughput (GB/s); the
             comparison runs on the lockstep CPU cores.
         sync_overhead_ms: cost of the ``cudaDeviceSynchronize()`` barrier
@@ -53,13 +55,15 @@ class COTSDevice:
     d2h_gbps: float = 6.0
     launch_overhead_ms: float = 0.008
     alloc_ms: float = 0.15
+    free_ms: float = 0.0
     compare_gbps: float = 4.0
     sync_overhead_ms: float = 0.02
 
     def __post_init__(self) -> None:
         if min(self.h2d_gbps, self.d2h_gbps, self.compare_gbps) <= 0:
             raise ConfigurationError("bandwidths must be positive")
-        if min(self.launch_overhead_ms, self.alloc_ms, self.sync_overhead_ms) < 0:
+        if min(self.launch_overhead_ms, self.alloc_ms, self.free_ms,
+               self.sync_overhead_ms) < 0:
             raise ConfigurationError("overheads cannot be negative")
 
     # ------------------------------------------------------------------

@@ -31,7 +31,6 @@ progress integration; results are fully deterministic.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -70,16 +69,26 @@ class _ResidentTB:
         """True when both work dimensions are exhausted."""
         return self.compute_left <= _EPS and self.memory_left <= _EPS
 
+    @property
+    def key(self) -> Tuple[int, int]:
+        """Unique identity of the block within a run."""
+        return (self.launch.instance_id, self.tb_index)
+
 
 @dataclass
 class _SMState:
-    """Mutable resource accounting of one SM."""
+    """Mutable resource accounting of one SM.
+
+    Resident blocks are keyed by ``(instance_id, tb_index)`` so completion
+    removes in O(1); insertion order (= dispatch order) is preserved, which
+    keeps event processing deterministic.
+    """
 
     free_threads: int
     free_registers: int
     free_shared_memory: int
     free_blocks: int
-    resident: List[_ResidentTB] = field(default_factory=list)
+    resident: Dict[Tuple[int, int], _ResidentTB] = field(default_factory=dict)
 
     def fits(self, kernel: KernelDescriptor) -> bool:
         """Whether one more block of ``kernel`` fits right now."""
@@ -187,7 +196,7 @@ class GPUSimulator:
         self._sms: List[_SMState] = []
         self._states: Dict[int, _LaunchState] = {}
         self._order: List[int] = []  # instance ids in submission order
-        self._resident: List[_ResidentTB] = []
+        self._resident: Dict[Tuple[int, int], _ResidentTB] = {}
         self._last_dispatch_time: Optional[float] = None
         self._trace: Optional[ExecutionTrace] = None
         self._events = 0
@@ -208,7 +217,7 @@ class GPUSimulator:
         """Resident blocks of a launch on one SM (SchedulerView)."""
         return sum(
             1
-            for tb in self._sms[sm].resident
+            for tb in self._sms[sm].resident.values()
             if tb.launch.instance_id == instance_id
         )
 
@@ -306,7 +315,7 @@ class GPUSimulator:
 
         self._now = 0.0
         self._events = 0
-        self._resident = []
+        self._resident = {}
         self._last_dispatch_time = None
         sm_cfg = self._gpu.sm
         self._sms = [
@@ -376,7 +385,7 @@ class GPUSimulator:
             if not self._gpu.allow_kernel_mixing:
                 if any(
                     tb.launch.instance_id != launch.instance_id
-                    for tb in state.resident
+                    for tb in state.resident.values()
                 ):
                     continue
             candidates.append(sm)
@@ -443,28 +452,30 @@ class GPUSimulator:
         st.resident_count += 1
         if st.first_dispatch is None:
             st.first_dispatch = self._now
-        self._sms[sm].resident.append(tb)
-        self._resident.append(tb)
+        self._sms[sm].resident[tb.key] = tb
+        self._resident[tb.key] = tb
 
     # ------------------------------------------------------------------
     # fluid timing
     # ------------------------------------------------------------------
     def _recompute_rates(self) -> None:
         """Assign processor-sharing rates to every resident block."""
-        mem_active = sum(1 for tb in self._resident if tb.memory_left > _EPS)
+        mem_active = sum(
+            1 for tb in self._resident.values() if tb.memory_left > _EPS
+        )
         mem_rate = (
             self._gpu.dram_bandwidth / mem_active if mem_active else 0.0
         )
         for sm_state in self._sms:
             compute_active = sum(
-                1 for tb in sm_state.resident if tb.compute_left > _EPS
+                1 for tb in sm_state.resident.values() if tb.compute_left > _EPS
             )
             share = (
                 self._gpu.sm.issue_throughput / compute_active
                 if compute_active
                 else 0.0
             )
-            for tb in sm_state.resident:
+            for tb in sm_state.resident.values():
                 tb.compute_rate = share if tb.compute_left > _EPS else 0.0
                 tb.memory_rate = mem_rate if tb.memory_left > _EPS else 0.0
 
@@ -474,7 +485,7 @@ class GPUSimulator:
         self._recompute_rates()
         candidate: Optional[float] = None
 
-        for tb in self._resident:
+        for tb in self._resident.values():
             if tb.compute_left > _EPS and tb.compute_rate > 0:
                 t = self._now + tb.compute_left / tb.compute_rate
                 candidate = t if candidate is None else min(candidate, t)
@@ -533,22 +544,22 @@ class GPUSimulator:
         """Integrate progress to ``t_next`` and process completions."""
         dt = t_next - self._now
         if dt > 0:
-            for tb in self._resident:
+            for tb in self._resident.values():
                 if tb.compute_rate > 0:
                     tb.compute_left = max(0.0, tb.compute_left - tb.compute_rate * dt)
                 if tb.memory_rate > 0:
                     tb.memory_left = max(0.0, tb.memory_left - tb.memory_rate * dt)
         self._now = t_next
 
-        finished = [tb for tb in self._resident if tb.done]
+        finished = [tb for tb in self._resident.values() if tb.done]
         for tb in finished:
             self._complete_tb(tb)
 
     def _complete_tb(self, tb: _ResidentTB) -> None:
         st = self._states[tb.launch.instance_id]
         self._sms[tb.sm].release(st.kernel)
-        self._sms[tb.sm].resident.remove(tb)
-        self._resident.remove(tb)
+        del self._sms[tb.sm].resident[tb.key]
+        del self._resident[tb.key]
         st.resident_count -= 1
         st.completed_tbs += 1
         assert self._trace is not None

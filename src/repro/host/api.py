@@ -15,8 +15,8 @@ example applications.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, RedundancyError
 from repro.gpu.config import GPUConfig
@@ -121,11 +121,11 @@ class GPUContext:
         return buf
 
     def free(self, buf: DeviceBuffer) -> None:
-        """Release a device allocation."""
+        """Release a device allocation (charges :attr:`COTSDevice.free_ms`)."""
         if buf.buffer_id not in self._buffers:
             raise ConfigurationError(f"unknown or already-freed buffer {buf}")
         del self._buffers[buf.buffer_id]
-        self._host_op("cudaFree", (buf.buffer_id,), 0.0)
+        self._host_op("cudaFree", (buf.buffer_id,), self._device.free_ms)
 
     def memcpy_h2d(self, buf: DeviceBuffer, nbytes: Optional[int] = None) -> None:
         """Host-to-device transfer (protocol step 2)."""
@@ -171,7 +171,18 @@ class GPUContext:
 
         Returns:
             The launch's instance id (for trace lookups after sync).
+
+        Raises:
+            ConfigurationError: for negative ``copy_id`` or ``logical_id``.
         """
+        if copy_id < 0:
+            raise ConfigurationError(
+                f"copy_id must be non-negative, got {copy_id}"
+            )
+        if logical_id is not None and logical_id < 0:
+            raise ConfigurationError(
+                f"logical_id must be non-negative, got {logical_id}"
+            )
         iid = next(self._instance_ids)
         deps: Tuple[int, ...] = ()
         if stream in self._stream_tail:

@@ -20,11 +20,16 @@ class TestCOTSDevice:
         ("compare_gbps", 0.0),
         ("launch_overhead_ms", -0.1),
         ("alloc_ms", -0.1),
+        ("free_ms", -0.1),
         ("sync_overhead_ms", -0.1),
     ])
     def test_invalid_parameters(self, field, value):
         with pytest.raises(ConfigurationError):
             COTSDevice(**{field: value})
+
+    def test_free_defaults_to_zero_cost(self):
+        # backward compatibility: profiles fold cudaFree into cpu_ms
+        assert COTSDevice().free_ms == 0.0
 
     def test_transfer_time(self):
         device = COTSDevice(h2d_gbps=8.0)

@@ -58,6 +58,30 @@ class TestGPUContext:
         assert sim.trace.span(iid).completion > 0
         assert ctx.last_result is sim
 
+    def test_negative_copy_id_rejected(self, gpu, kernel):
+        with pytest.raises(ConfigurationError, match="copy_id"):
+            GPUContext(gpu).launch(kernel, copy_id=-1)
+
+    def test_negative_logical_id_rejected(self, gpu, kernel):
+        with pytest.raises(ConfigurationError, match="logical_id"):
+            GPUContext(gpu).launch(kernel, logical_id=-3)
+
+    def test_free_charges_device_cost(self, gpu):
+        from repro.gpu.cots import COTSDevice
+
+        ctx = GPUContext(gpu, device=COTSDevice(free_ms=0.5))
+        buf = ctx.malloc(1024)
+        before = ctx.clock_ms
+        ctx.free(buf)
+        assert ctx.clock_ms == pytest.approx(before + 0.5)
+
+    def test_free_is_zero_cost_by_default(self, gpu):
+        ctx = GPUContext(gpu)
+        buf = ctx.malloc(1024)
+        before = ctx.clock_ms
+        ctx.free(buf)
+        assert ctx.clock_ms == before
+
     def test_stream_ordering_respected(self, gpu, kernel):
         ctx = GPUContext(gpu)
         a = ctx.launch(kernel, stream=0)
