@@ -3,16 +3,74 @@
 Not a paper artifact — these track the cost of the discrete-event engine
 and the fault campaign so regressions in the reproduction's own
 performance are visible (useful when extending the models).
+
+The ``perf/*`` scenario tests additionally emit ``BENCH_simulator.json``
+at the repository root (ops/sec, events/sec, and the incremental-core
+speedup over the retained reference core) so CI can track the performance
+trajectory across PRs.  They run meaningfully under every pytest-benchmark
+mode, including ``--benchmark-disable``.
 """
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
 from repro.faults.campaign import CampaignConfig, FaultCampaign
-from repro.gpu.config import GPUConfig
-from repro.gpu.kernel import KernelDescriptor, KernelLaunch
+from repro.gpu.config import GPUConfig, SMConfig
+from repro.gpu.kernel import KernelDescriptor, KernelLaunch, dependent_chain
+from repro.gpu.reference import ReferenceSimulator
 from repro.gpu.scheduler import DefaultScheduler
-from repro.gpu.simulator import GPUSimulator
+from repro.gpu.simulator import GPUSimulator, SimulationResult
 from repro.redundancy.manager import RedundantKernelManager
+
+_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+_RECORDS: Dict[str, Dict[str, float]] = {}
+
+
+def _record(scenario: str, **metrics: float) -> None:
+    """Merge one scenario's metrics into the JSON artifact.
+
+    Merging (rather than rewriting from this process's records) keeps the
+    other scenarios' entries intact when only a subset of the suite runs
+    (``-k``, ``-x`` aborts), so the tracked artifact never silently loses
+    data.
+    """
+    _RECORDS[scenario] = metrics
+    scenarios: Dict[str, Dict[str, float]] = {}
+    try:
+        scenarios = json.loads(_BENCH_JSON.read_text()).get("scenarios", {})
+    except (OSError, ValueError):
+        pass  # absent or unreadable artifact: start fresh
+    scenarios.update(_RECORDS)
+    payload = {
+        "schema": "bench-simulator/v1",
+        "generated_by": "benchmarks/bench_simulator_performance.py",
+        "scenarios": scenarios,
+    }
+    _BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _timed_simulation(scenario: str,
+                      run: Callable[[], SimulationResult]
+                      ) -> SimulationResult:
+    """Execute one simulation, recording wall time and throughput."""
+    t0 = time.perf_counter()
+    result = run()
+    wall = time.perf_counter() - t0
+    blocks = len(result.trace.tb_records)
+    _record(
+        scenario,
+        wall_s=round(wall, 6),
+        events=result.events,
+        blocks=blocks,
+        events_per_sec=round(result.events / wall, 1),
+        blocks_per_sec=round(blocks / wall, 1),
+        makespan_cycles=result.makespan,
+    )
+    return result
 
 
 def test_simulator_throughput_large_grid(benchmark, gpu):
@@ -35,14 +93,10 @@ def test_simulator_throughput_large_grid(benchmark, gpu):
 def test_simulator_completion_churn_behind_pinned_blocks(benchmark):
     """Short blocks completing behind long-lived co-resident blocks.
 
-    Stresses the completion path: resident-block bookkeeping is keyed by
-    ``(instance_id, tb_index)`` and removed in O(1) per finished block.
-    The previous two ``list.remove`` calls scanned past every long-lived
-    block (dataclass equality per element) for each of the thousands of
-    churned blocks — ~18x slower on this workload (6.6 s vs 0.36 s).
+    Stresses the completion path: resident-block bookkeeping is indexed,
+    so finishing a block never rescans the long-lived residents pinned at
+    the head of the dispatch order.
     """
-    from repro.gpu.config import SMConfig
-
     gpu = GPUConfig(
         name="wide-64sm", num_sms=64,
         sm=SMConfig(max_threads=2048, max_blocks=32, registers=65536,
@@ -68,6 +122,125 @@ def test_simulator_completion_churn_behind_pinned_blocks(benchmark):
 
     completed = benchmark(run)
     assert completed == 1024 + 15 * 800
+
+
+def test_simulator_large_grid_heterogeneous(benchmark):
+    """BENCH scenario ``large_grid_heterogeneous``: 1024 launches with
+    distinct per-block demand on a 64-SM GPU (16384 blocks, ~1024 of them
+    co-resident, ~3000 events with barely any completion ties).
+
+    This is the headline scenario of the incremental virtual-time core:
+    the pre-rewrite engine rescanned every resident block and launch state
+    at each event (~12 s here); the fair-queuing heaps bring it under a
+    second (>= 10x).
+    """
+    gpu = GPUConfig(
+        name="wide-64sm", num_sms=64,
+        sm=SMConfig(max_threads=2048, max_blocks=16, registers=65536,
+                    shared_memory=65536),
+        dram_bandwidth=512.0, dispatch_latency=5.0,
+    )
+    launches = [
+        KernelLaunch(
+            kernel=KernelDescriptor(
+                name=f"perf/het{i}", grid_blocks=16, threads_per_block=128,
+                work_per_block=500.0 + 7.0 * i,
+                bytes_per_block=300.0 + 3.0 * i,
+            ),
+            instance_id=i,
+        )
+        for i in range(1024)
+    ]
+
+    def run():
+        return _timed_simulation(
+            "large_grid_heterogeneous",
+            lambda: GPUSimulator(gpu, DefaultScheduler()).run(launches),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.trace.tb_records) == 1024 * 16
+
+
+def test_simulator_many_launch_chain(benchmark):
+    """BENCH scenario ``many_launch_chain``: a 600-kernel dependent chain
+    (one CUDA stream), stressing arrival bookkeeping, the reverse-
+    dependency map and the first-incomplete pointer."""
+    gpu = GPUConfig.gpgpusim_like()
+    kernels = [
+        KernelDescriptor(
+            name=f"perf/c{i}", grid_blocks=30, threads_per_block=128,
+            work_per_block=400.0 + 13.0 * (i % 17), bytes_per_block=250.0,
+        )
+        for i in range(600)
+    ]
+    chain = dependent_chain(kernels)
+
+    def run():
+        return _timed_simulation(
+            "many_launch_chain",
+            lambda: GPUSimulator(gpu, DefaultScheduler()).run(chain),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.trace.tb_records) == 600 * 30
+
+
+def test_incremental_core_speedup_vs_reference(benchmark):
+    """BENCH scenario ``incremental_vs_reference``: the production core
+    against the retained scan-per-event reference core (which preserves
+    the pre-rewrite O(events x resident blocks) structure) on a mid-size
+    heterogeneous workload — with a bit-identity cross-check.
+    """
+    gpu = GPUConfig(
+        name="wide-32sm", num_sms=32,
+        sm=SMConfig(max_threads=2048, max_blocks=16, registers=65536,
+                    shared_memory=65536),
+        dram_bandwidth=256.0, dispatch_latency=5.0,
+    )
+    launches = [
+        KernelLaunch(
+            kernel=KernelDescriptor(
+                name=f"perf/ref{i}", grid_blocks=16, threads_per_block=128,
+                work_per_block=400.0 + 11.0 * i,
+                bytes_per_block=200.0 + 5.0 * i,
+            ),
+            instance_id=i,
+        )
+        for i in range(256)
+    ]
+
+    def run():
+        def best_of(factory, rounds: int = 3):
+            best, result = float("inf"), None
+            for _ in range(rounds):
+                t0 = time.perf_counter()
+                result = factory().run(launches)
+                best = min(best, time.perf_counter() - t0)
+            return best, result
+
+        # best-of-N per core: the fast leg only takes tens of ms, so a
+        # single noisy-neighbor stall must not decide the ratio
+        fast_s, fast = best_of(lambda: GPUSimulator(gpu, DefaultScheduler()))
+        ref_s, ref = best_of(
+            lambda: ReferenceSimulator(gpu, DefaultScheduler())
+        )
+        assert fast.trace.identical_to(ref.trace)
+        _record(
+            "incremental_vs_reference",
+            fast_s=round(fast_s, 6),
+            reference_s=round(ref_s, 6),
+            speedup=round(ref_s / fast_s, 2),
+            events=fast.events,
+            blocks=len(fast.trace.tb_records),
+        )
+        return ref_s / fast_s
+
+    speedup = benchmark.pedantic(run, rounds=1, iterations=1)
+    # conservative floor (the large-grid scenario exceeds 10x; this one
+    # is smaller and CI runners are noisy — the committed artifact, not
+    # this gate, tracks the real trajectory)
+    assert speedup > 2.0
 
 
 def test_redundant_manager_throughput(benchmark, gpu):

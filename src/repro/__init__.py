@@ -88,7 +88,7 @@ from repro.redundancy import (
 )
 from repro.workloads import classify_kernel, get_benchmark
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 # the api package imports repro.__version__ lazily at run time, so this
 # import must stay below the version assignment

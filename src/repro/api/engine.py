@@ -20,6 +20,7 @@ count — ``workers=4`` only changes the wall-clock, never the results.
 
 from __future__ import annotations
 
+import math
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -158,8 +159,13 @@ class Engine:
                 yield self.run(spec)
             return
         items = [(spec, self._validate) for spec in spec_list]
-        with ProcessPoolExecutor(max_workers=min(workers, len(spec_list))) as pool:
-            for artifact in pool.map(_worker_run, items):
+        pool_size = min(workers, len(spec_list))
+        # chunked submission amortises per-task pickling/IPC overhead on
+        # large batches; map() preserves spec order regardless of chunking,
+        # so results stay identical for any worker count
+        chunksize = max(1, math.ceil(len(items) / (pool_size * 4)))
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            for artifact in pool.map(_worker_run, items, chunksize=chunksize):
                 yield artifact
 
     # ------------------------------------------------------------------

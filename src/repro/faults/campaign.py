@@ -79,11 +79,34 @@ class CampaignReport:
     policy: str
     injections: List[InjectionResult] = field(default_factory=list)
     by_kind: Dict[str, Dict[FaultOutcome, int]] = field(default_factory=dict)
+    # incremental outcome tally: ``injections`` is append-only, so counts
+    # fold in lazily up to ``_counted_upto`` instead of rescanning the
+    # whole campaign on every ``masked``/``detected``/``sdc`` access
+    _outcome_counts: Dict[FaultOutcome, int] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _counted_upto: int = field(default=0, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
+    def record(self, result: InjectionResult, fault_kind: str) -> None:
+        """Append one injection outcome, maintaining all tallies."""
+        self.injections.append(result)
+        bucket = self.by_kind.setdefault(fault_kind, {})
+        bucket[result.outcome] = bucket.get(result.outcome, 0) + 1
+
+    def _counts(self) -> Dict[FaultOutcome, int]:
+        """Outcome tally, folding in any records appended since last use."""
+        injections = self.injections
+        counts = self._outcome_counts
+        while self._counted_upto < len(injections):
+            outcome = injections[self._counted_upto].outcome
+            counts[outcome] = counts.get(outcome, 0) + 1
+            self._counted_upto += 1
+        return counts
+
     def count(self, outcome: FaultOutcome) -> int:
-        """Total injections with the given outcome."""
-        return sum(1 for r in self.injections if r.outcome is outcome)
+        """Total injections with the given outcome (amortised O(1))."""
+        return self._counts().get(outcome, 0)
 
     @property
     def total(self) -> int:
@@ -264,9 +287,5 @@ class FaultCampaign:
             faults = self.sample_faults(config or CampaignConfig())
         report = CampaignReport(policy=self._run.sim.scheduler_name)
         for fault in faults:
-            result = self.classify(fault)
-            report.injections.append(result)
-            kind = type(fault).__name__
-            bucket = report.by_kind.setdefault(kind, {})
-            bucket[result.outcome] = bucket.get(result.outcome, 0) + 1
+            report.record(self.classify(fault), type(fault).__name__)
         return report

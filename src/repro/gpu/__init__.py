@@ -23,6 +23,7 @@ from repro.gpu.occupancy import (
     max_resident_blocks,
     occupancy_report,
 )
+from repro.gpu.reference import ReferenceSimulator, reference_simulate
 from repro.gpu.simulator import GPUSimulator, SimulationResult, simulate
 from repro.gpu.trace import ExecutionTrace, KernelSpan, TBRecord
 
@@ -37,8 +38,10 @@ __all__ = [
     "max_resident_blocks",
     "occupancy_report",
     "GPUSimulator",
+    "ReferenceSimulator",
     "SimulationResult",
     "simulate",
+    "reference_simulate",
     "ExecutionTrace",
     "KernelSpan",
     "TBRecord",

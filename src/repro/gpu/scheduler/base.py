@@ -107,7 +107,15 @@ class KernelScheduler(ABC):
         return True
 
     def allowed_sms(self, launch: KernelLaunch) -> Tuple[int, ...]:
-        """SMs this launch's thread blocks may ever use."""
+        """SMs this launch's thread blocks may ever use.
+
+        The mask is a *static* per-launch property: the simulator queries
+        it once per launch per run (at workload precheck), validates it,
+        and caches the deduplicated, ascending result for all subsequent
+        placement decisions.  Masks that vary over a run would be silently
+        ignored — encode time-varying behaviour in :meth:`may_start` /
+        :meth:`select_sm` instead.
+        """
         return tuple(self.gpu.sm_ids)
 
     def earliest_start(self, launch: KernelLaunch,
@@ -130,7 +138,10 @@ class KernelScheduler(ABC):
             launch: the launch being dispatched.
             candidates: non-empty subset of :meth:`allowed_sms` that
                 currently has capacity for one more block of this kernel,
-                in ascending SM order.
+                in ascending SM order.  The sequence is only valid for the
+                duration of the call (the simulator maintains it
+                incrementally across placements) — copy it if you must
+                retain it.
             view: read-only simulator state.
 
         Returns:

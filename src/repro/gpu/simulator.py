@@ -24,13 +24,44 @@ simulator asks it for admission, SM masks and per-block SM selection, and
 *validates* every answer so that faulty/injected schedulers cannot corrupt
 simulator invariants silently.
 
+Incremental virtual-time core
+-----------------------------
+
 Rates change only at events (arrival, dimension completion, placement), so
 the simulation advances event-to-event with exact piecewise-linear
 progress integration; results are fully deterministic.
+
+Because co-resident blocks share an SM's issue throughput *equally* (and
+memory-active blocks share DRAM bandwidth equally), progress is tracked by
+**virtual clocks** instead of per-block countdowns — classic fair-queuing:
+
+* each SM carries a compute clock ``V_s`` = work drained per compute-active
+  block since the run started; the global memory clock ``V_mem`` counts
+  bytes drained per memory-active block;
+* a block placed when the clock reads ``V`` with ``w`` units of work
+  finishes that dimension exactly when the clock reaches ``V + w`` — a key
+  that **never changes**, no matter how often the block's bandwidth share
+  changes afterwards;
+* upcoming finishes therefore live in min-heaps (one per SM for compute,
+  one global for memory) that never need re-keying; an event only advances
+  the clocks (one multiply-add per active SM plus one for memory) and pops
+  the drained keys.
+
+Per-event cost is O(active SMs + log resident) instead of the previous
+O(resident blocks + launches); placement bookkeeping is likewise indexed
+(release-log capacity screen, reverse-dependency map, per-SM per-instance
+residency counters) so no event rescans all blocks or launch states.
+
+:mod:`repro.gpu.reference` retains a scan-everything-per-event core with
+the *identical* arithmetic; the randomized differential suite
+(``tests/gpu/test_simulator_equivalence.py``) proves both produce
+bit-identical traces, event counts and scheduler interactions.
 """
 
 from __future__ import annotations
 
+import heapq
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -53,21 +84,28 @@ _EPS = 1e-9
 
 @dataclass
 class _ResidentTB:
-    """Mutable state of one thread block resident on an SM."""
+    """Mutable state of one thread block resident on an SM.
+
+    ``compute_finish`` / ``memory_finish`` are *virtual-clock* finish keys:
+    the value the owning SM's compute clock (resp. the global memory clock)
+    must reach for that work dimension to drain.  They are fixed at
+    placement and never updated — only the clocks move.
+    """
 
     launch: KernelLaunch
     tb_index: int
     sm: int
     start: float
-    compute_left: float
-    memory_left: float
-    compute_rate: float = 0.0
-    memory_rate: float = 0.0
+    seq: int
+    compute_active: bool
+    memory_active: bool
+    compute_finish: float = 0.0
+    memory_finish: float = 0.0
 
     @property
     def done(self) -> bool:
         """True when both work dimensions are exhausted."""
-        return self.compute_left <= _EPS and self.memory_left <= _EPS
+        return not self.compute_active and not self.memory_active
 
     @property
     def key(self) -> Tuple[int, int]:
@@ -77,18 +115,22 @@ class _ResidentTB:
 
 @dataclass
 class _SMState:
-    """Mutable resource accounting of one SM.
+    """Mutable resource accounting and compute clock of one SM.
 
-    Resident blocks are keyed by ``(instance_id, tb_index)`` so completion
-    removes in O(1); insertion order (= dispatch order) is preserved, which
-    keeps event processing deterministic.
+    Residency is tracked by counters (total and per launch instance) so the
+    scheduler-view queries and the kernel-mixing rule are O(1); the heap
+    holds ``(compute_finish, seq, block)`` for every compute-active block.
     """
 
     free_threads: int
     free_registers: int
     free_shared_memory: int
     free_blocks: int
-    resident: Dict[Tuple[int, int], _ResidentTB] = field(default_factory=dict)
+    resident_total: int = 0
+    resident_by_instance: Dict[int, int] = field(default_factory=dict)
+    compute_active: int = 0
+    virtual: float = 0.0
+    heap: List[Tuple[float, int, _ResidentTB]] = field(default_factory=list)
 
     def fits(self, kernel: KernelDescriptor) -> bool:
         """Whether one more block of ``kernel`` fits right now."""
@@ -121,6 +163,7 @@ class _LaunchState:
 
     launch: KernelLaunch
     remaining_deps: Set[int]
+    order_index: int
     arrival: Optional[float] = None  # known once deps resolved + dispatch slot
     started: bool = False
     first_dispatch: Optional[float] = None
@@ -128,6 +171,15 @@ class _LaunchState:
     resident_count: int = 0
     completed_tbs: int = 0
     completion: Optional[float] = None
+    allowed: Tuple[int, ...] = ()  # scheduler mask, cached (sorted, deduped)
+    allowed_set: frozenset = frozenset()
+    # release-log position at which the last candidate scan found nothing;
+    # None when the launch is not known to be capacity-blocked
+    blocked_at_log: Optional[int] = None
+    # (resource footprint, mask) eligibility class shared with identical
+    # launches; None when kernel mixing is off (eligibility then depends
+    # on the launch instance itself)
+    screen_key: Optional[Tuple] = None
 
     @property
     def kernel(self) -> KernelDescriptor:
@@ -196,10 +248,24 @@ class GPUSimulator:
         self._sms: List[_SMState] = []
         self._states: Dict[int, _LaunchState] = {}
         self._order: List[int] = []  # instance ids in submission order
-        self._resident: Dict[Tuple[int, int], _ResidentTB] = {}
+        self._order_index: Dict[int, int] = {}
+        self._dependents: Dict[int, List[int]] = {}
         self._last_dispatch_time: Optional[float] = None
         self._trace: Optional[ExecutionTrace] = None
         self._events = 0
+        # virtual-time engine state
+        self._mem_virtual = 0.0
+        self._mem_active = 0
+        self._mem_heap: List[Tuple[float, int, _ResidentTB]] = []
+        self._resident_total = 0
+        self._seq = 0
+        self._zombies: List[_ResidentTB] = []
+        # indexed launch bookkeeping
+        self._arrival_heap: List[Tuple[float, int]] = []  # (arrival, order idx)
+        self._undispatched: List[int] = []  # order idxs, ascending
+        self._first_incomplete = 0
+        self._incomplete = 0
+        self._release_log: List[int] = []  # SM id per completed block
 
     # ------------------------------------------------------------------
     # SchedulerView protocol
@@ -211,29 +277,22 @@ class GPUSimulator:
 
     def resident_blocks(self, sm: int) -> int:
         """Resident block count of one SM (SchedulerView)."""
-        return len(self._sms[sm].resident)
+        return self._sms[sm].resident_total
 
     def resident_blocks_of(self, sm: int, instance_id: int) -> int:
-        """Resident blocks of a launch on one SM (SchedulerView)."""
-        return sum(
-            1
-            for tb in self._sms[sm].resident.values()
-            if tb.launch.instance_id == instance_id
-        )
+        """Resident blocks of a launch on one SM (SchedulerView, O(1))."""
+        return self._sms[sm].resident_by_instance.get(instance_id, 0)
 
     def is_idle(self) -> bool:
         """True when no block is resident anywhere (SchedulerView)."""
-        return not self._resident
+        return self._resident_total == 0
 
     def incomplete_before(self, launch: KernelLaunch) -> bool:
         """True when a launch submitted earlier has not completed
-        (SchedulerView)."""
-        for iid in self._order:
-            if iid == launch.instance_id:
-                return False
-            if not self._states[iid].complete:
-                return True
-        return False
+        (SchedulerView).  Amortised O(1) via a first-incomplete pointer."""
+        return self._advance_first_incomplete() < self._order_index[
+            launch.instance_id
+        ]
 
     def now(self) -> float:
         """Current simulation time in cycles (SchedulerView)."""
@@ -315,7 +374,6 @@ class GPUSimulator:
 
         self._now = 0.0
         self._events = 0
-        self._resident = {}
         self._last_dispatch_time = None
         sm_cfg = self._gpu.sm
         self._sms = [
@@ -328,12 +386,29 @@ class GPUSimulator:
             for _ in self._gpu.sm_ids
         ]
         self._order = list(ids)
+        self._order_index = {iid: i for i, iid in enumerate(ids)}
         self._states = {
             l.instance_id: _LaunchState(
-                launch=l, remaining_deps=set(l.depends_on)
+                launch=l, remaining_deps=set(l.depends_on),
+                order_index=self._order_index[l.instance_id],
             )
             for l in launches
         }
+        self._dependents = {}
+        for launch in launches:  # submission order => dependents in order
+            for dep in launch.depends_on:
+                self._dependents.setdefault(dep, []).append(launch.instance_id)
+        self._mem_virtual = 0.0
+        self._mem_active = 0
+        self._mem_heap = []
+        self._resident_total = 0
+        self._seq = 0
+        self._zombies = []
+        self._arrival_heap = []
+        self._undispatched = []
+        self._first_incomplete = 0
+        self._incomplete = len(self._order)
+        self._release_log = []
         self._trace = ExecutionTrace(self._gpu.num_sms)
         self._scheduler.reset(self._gpu)
         # resolve arrivals of dependency-free launches (in submission order,
@@ -344,7 +419,13 @@ class GPUSimulator:
                 self._assign_arrival(st, ready_at=0.0)
 
     def _precheck(self, launches: Sequence[KernelLaunch]) -> None:
-        """Fail fast when a kernel cannot fit on its allowed SMs."""
+        """Fail fast when a kernel cannot fit on its allowed SMs.
+
+        Also caches each launch's (validated) scheduler SM mask: the
+        :meth:`KernelScheduler.allowed_sms` contract is a static per-launch
+        property ("SMs this launch's thread blocks may *ever* use"), so it
+        is queried once per launch per run instead of once per placement.
+        """
         for launch in launches:
             occupancy_report(launch.kernel, self._gpu.sm)  # raises CapacityError
             allowed = self._scheduler.allowed_sms(launch)
@@ -359,6 +440,17 @@ class GPUSimulator:
                         f"scheduler allowed invalid SM {sm} for launch "
                         f"{launch.instance_id}"
                     )
+            st = self._states[launch.instance_id]
+            st.allowed = tuple(sorted(set(allowed)))
+            st.allowed_set = frozenset(st.allowed)
+            if self._gpu.allow_kernel_mixing:
+                kernel = launch.kernel
+                st.screen_key = (
+                    kernel.threads_per_block,
+                    kernel.regs_per_thread,
+                    kernel.shared_mem_per_block,
+                    st.allowed,
+                )
 
     def _assign_arrival(self, st: _LaunchState, ready_at: float) -> None:
         """Compute a launch's arrival time through the serial dispatch path."""
@@ -369,65 +461,159 @@ class GPUSimulator:
             arrival = max(ready, self._last_dispatch_time + self._gpu.dispatch_latency)
         st.arrival = arrival
         self._last_dispatch_time = arrival
+        heapq.heappush(self._arrival_heap, (arrival, st.order_index))
 
     # ------------------------------------------------------------------
     # placement
     # ------------------------------------------------------------------
+    def _advance_first_incomplete(self) -> int:
+        """Index of the earliest-submitted incomplete launch (monotone)."""
+        order, states = self._order, self._states
+        i = self._first_incomplete
+        n = len(order)
+        while i < n and states[order[i]].complete:
+            i += 1
+        self._first_incomplete = i
+        return i
+
+    def _sm_eligible(self, sm: int, st: _LaunchState) -> bool:
+        """Capacity + kernel-mixing screen for one SM (O(1))."""
+        state = self._sms[sm]
+        if not state.fits(st.kernel):
+            return False
+        if not self._gpu.allow_kernel_mixing:
+            iid = st.launch.instance_id
+            others = state.resident_total - state.resident_by_instance.get(iid, 0)
+            if others:
+                return False
+        return True
+
     def _candidate_sms(self, launch: KernelLaunch) -> List[int]:
         """SMs with capacity for one more block of ``launch``, within the
-        scheduler's mask and the kernel-mixing rule."""
-        allowed = self._scheduler.allowed_sms(launch)
-        candidates = []
-        for sm in allowed:
-            state = self._sms[sm]
-            if not state.fits(launch.kernel):
-                continue
-            if not self._gpu.allow_kernel_mixing:
-                if any(
-                    tb.launch.instance_id != launch.instance_id
-                    for tb in state.resident.values()
-                ):
-                    continue
-            candidates.append(sm)
-        return sorted(candidates)
+        scheduler's mask and the kernel-mixing rule (ascending order)."""
+        st = self._states[launch.instance_id]
+        return [sm for sm in st.allowed if self._sm_eligible(sm, st)]
 
     def _try_placement(self) -> None:
         """Dispatch thread blocks of arrived launches until no progress."""
+        # materialise arrivals that are due at the current time
+        heap = self._arrival_heap
+        due = self._now + _EPS
+        while heap and heap[0][0] <= due:
+            insort(self._undispatched, heapq.heappop(heap)[1])
+        if self._scheduler.strict_fifo:
+            self._try_placement_fifo()
+        else:
+            self._try_placement_concurrent()
+
+    def _try_placement_fifo(self) -> None:
+        """Strict-FIFO placement: only the earliest incomplete launch may
+        make progress ("no further kernel can be executed in the GPU until
+        the second one also finishes")."""
+        idx = self._advance_first_incomplete()
+        if idx >= len(self._order):
+            return
+        st = self._states[self._order[idx]]
+        if st.arrival is None or st.arrival > self._now + _EPS:
+            return
         progressed = True
         while progressed:
             progressed = False
-            for iid in self._order:
-                st = self._states[iid]
-                if st.complete:
-                    continue
-                if st.arrival is None or st.arrival > self._now + _EPS:
-                    if self._scheduler.strict_fifo:
-                        # nothing behind an unfinished head may proceed
+            if not st.all_dispatched:
+                if not st.started:
+                    if not self._scheduler.may_start(st.launch, self):
                         break
+                    self._scheduler.on_kernel_start(st.launch, self)
+                    st.started = True
+                progressed = self._dispatch_blocks(st)
+        if st.all_dispatched:
+            self._drop_dispatched()
+
+    def _try_placement_concurrent(self) -> None:
+        """Concurrent placement over all arrived, not-fully-dispatched
+        launches, in submission order, repeated until no progress.
+
+        No block completes during placement, so ``len(release_log)`` is
+        constant here and a launch (or eligibility class — see
+        ``screen_key``) screened as capacity-blocked stays blocked for the
+        rest of the call; those launches cost O(1) per pass.
+        """
+        log_len = len(self._release_log)
+        blocked_keys: Set[Tuple] = set()
+        progressed = True
+        while progressed:
+            progressed = False
+            drop = False
+            states, order = self._states, self._order
+            for oidx in self._undispatched:
+                st = states[order[oidx]]
+                if st.all_dispatched:  # dispatched in an earlier pass
+                    drop = True
                     continue
-                if not st.all_dispatched:
-                    if not st.started:
-                        if not self._scheduler.may_start(st.launch, self):
-                            if self._scheduler.strict_fifo:
-                                break
-                            continue
-                        self._scheduler.on_kernel_start(st.launch, self)
-                        st.started = True
-                    progressed |= self._dispatch_blocks(st)
-                if self._scheduler.strict_fifo and not st.complete:
-                    break
+                if not st.started:
+                    if not self._scheduler.may_start(st.launch, self):
+                        continue
+                    self._scheduler.on_kernel_start(st.launch, self)
+                    st.started = True
+                if st.blocked_at_log == log_len:
+                    continue
+                key = st.screen_key
+                if key is not None and key in blocked_keys:
+                    # an identical (footprint, mask) launch already found
+                    # zero eligible SMs this round; capacity only shrank
+                    st.blocked_at_log = log_len
+                    continue
+                if self._dispatch_blocks(st):
+                    progressed = True
+                if st.all_dispatched:
+                    drop = True
+                elif st.blocked_at_log == log_len and key is not None:
+                    blocked_keys.add(key)
+            if drop:
+                self._drop_dispatched()
+
+    def _drop_dispatched(self) -> None:
+        states, order = self._states, self._order
+        self._undispatched = [
+            oidx for oidx in self._undispatched
+            if not states[order[oidx]].all_dispatched
+        ]
 
     def _dispatch_blocks(self, st: _LaunchState) -> bool:
-        """Place as many blocks of one launch as capacity permits."""
+        """Place as many blocks of one launch as capacity permits.
+
+        Candidate lists are maintained incrementally: placements only
+        *consume* capacity, so within one dispatch round only the chosen
+        SM needs re-screening.  A launch whose scan found **zero**
+        candidates is blocked until some SM releases a block; the release
+        log pins down exactly which SMs could have become eligible since,
+        so the retry scan touches only those instead of the full mask.
+        """
+        log = self._release_log
+        if st.blocked_at_log is not None:
+            if st.blocked_at_log == len(log):
+                return False  # nothing released since the failed scan
+            released = set(log[st.blocked_at_log:])
+            st.blocked_at_log = None
+            candidates = [
+                sm for sm in sorted(released & st.allowed_set)
+                if self._sm_eligible(sm, st)
+            ]
+        else:
+            candidates = [
+                sm for sm in st.allowed if self._sm_eligible(sm, st)
+            ]
+        if not candidates:
+            st.blocked_at_log = len(log)
+            return False
         placed_any = False
+        kernel = st.kernel
+        candidate_set = set(candidates)
         while not st.all_dispatched:
-            candidates = self._candidate_sms(st.launch)
-            if not candidates:
-                break
             sm = self._scheduler.select_sm(st.launch, candidates, self)
             if sm is None:
                 break
-            if sm not in candidates:
+            if sm not in candidate_set:
                 raise SchedulingError(
                     f"scheduler {self._scheduler.name!r} selected SM {sm} "
                     f"outside candidates {candidates} for launch "
@@ -435,77 +621,89 @@ class GPUSimulator:
                 )
             self._place_tb(st, sm)
             placed_any = True
+            if not self._sm_eligible(sm, st):
+                candidates.remove(sm)
+                candidate_set.discard(sm)
+                if not candidates:
+                    if not st.all_dispatched:
+                        st.blocked_at_log = len(log)
+                    break
         return placed_any
 
     def _place_tb(self, st: _LaunchState, sm: int) -> None:
         kernel = st.kernel
-        self._sms[sm].take(kernel)
+        sm_state = self._sms[sm]
+        sm_state.take(kernel)
+        compute = float(kernel.work_per_block)
+        memory = float(kernel.bytes_per_block)
+        seq = self._seq
+        self._seq += 1
         tb = _ResidentTB(
             launch=st.launch,
             tb_index=st.next_tb,
             sm=sm,
             start=self._now,
-            compute_left=float(kernel.work_per_block),
-            memory_left=float(kernel.bytes_per_block),
+            seq=seq,
+            compute_active=compute > _EPS,
+            memory_active=memory > _EPS,
         )
         st.next_tb += 1
         st.resident_count += 1
         if st.first_dispatch is None:
             st.first_dispatch = self._now
-        self._sms[sm].resident[tb.key] = tb
-        self._resident[tb.key] = tb
+        iid = st.launch.instance_id
+        sm_state.resident_total += 1
+        sm_state.resident_by_instance[iid] = (
+            sm_state.resident_by_instance.get(iid, 0) + 1
+        )
+        self._resident_total += 1
+        if tb.compute_active:
+            tb.compute_finish = sm_state.virtual + compute
+            sm_state.compute_active += 1
+            heapq.heappush(sm_state.heap, (tb.compute_finish, seq, tb))
+        if tb.memory_active:
+            tb.memory_finish = self._mem_virtual + memory
+            self._mem_active += 1
+            heapq.heappush(self._mem_heap, (tb.memory_finish, seq, tb))
+        if tb.done:
+            # degenerate (sub-epsilon) work in both dimensions: completes
+            # at the next event, like any block whose work just drained
+            self._zombies.append(tb)
 
     # ------------------------------------------------------------------
-    # fluid timing
+    # fluid timing (virtual clocks)
     # ------------------------------------------------------------------
-    def _recompute_rates(self) -> None:
-        """Assign processor-sharing rates to every resident block."""
-        mem_active = sum(
-            1 for tb in self._resident.values() if tb.memory_left > _EPS
-        )
-        mem_rate = (
-            self._gpu.dram_bandwidth / mem_active if mem_active else 0.0
-        )
-        for sm_state in self._sms:
-            compute_active = sum(
-                1 for tb in sm_state.resident.values() if tb.compute_left > _EPS
-            )
-            share = (
-                self._gpu.sm.issue_throughput / compute_active
-                if compute_active
-                else 0.0
-            )
-            for tb in sm_state.resident.values():
-                tb.compute_rate = share if tb.compute_left > _EPS else 0.0
-                tb.memory_rate = mem_rate if tb.memory_left > _EPS else 0.0
-
     def _next_event_time(self) -> Optional[float]:
         """Earliest upcoming event: a work-dimension completion or an
-        arrival.  ``None`` when the workload is fully drained."""
-        self._recompute_rates()
+        arrival.  ``None`` when the workload is fully drained.
+
+        O(active SMs + admission-blocked launches): each dimension's next
+        completion is its heap top mapped through the current clock rate.
+        """
         candidate: Optional[float] = None
 
-        for tb in self._resident.values():
-            if tb.compute_left > _EPS and tb.compute_rate > 0:
-                t = self._now + tb.compute_left / tb.compute_rate
-                candidate = t if candidate is None else min(candidate, t)
-            if tb.memory_left > _EPS and tb.memory_rate > 0:
-                t = self._now + tb.memory_left / tb.memory_rate
+        if self._mem_active:
+            mem_rate = self._gpu.dram_bandwidth / self._mem_active
+            candidate = (
+                self._now
+                + (self._mem_heap[0][0] - self._mem_virtual) / mem_rate
+            )
+        throughput = self._gpu.sm.issue_throughput
+        for sm_state in self._sms:
+            if sm_state.compute_active:
+                share = throughput / sm_state.compute_active
+                t = self._now + (sm_state.heap[0][0] - sm_state.virtual) / share
                 candidate = t if candidate is None else min(candidate, t)
 
         future_arrival: Optional[float] = None
-        pending_work = False
-        for st in self._states.values():
-            if st.complete:
-                continue
-            pending_work = True
-            if st.arrival is not None and st.arrival > self._now + _EPS:
-                future_arrival = (
-                    st.arrival
-                    if future_arrival is None
-                    else min(future_arrival, st.arrival)
-                )
-            elif st.arrival is not None and not st.started:
+        if self._arrival_heap:
+            # every remaining entry is strictly in the future (due arrivals
+            # were materialised by _try_placement at this timestamp)
+            future_arrival = self._arrival_heap[0][0]
+        states, order = self._states, self._order
+        for oidx in self._undispatched:
+            st = states[order[oidx]]
+            if not st.started:
                 # arrived but admission-blocked: time-gated policies
                 # (e.g. enforced stagger) expose their retry time
                 retry = self._scheduler.earliest_start(st.launch, self)
@@ -522,7 +720,7 @@ class GPUSimulator:
                 else min(candidate, future_arrival)
             )
 
-        if candidate is None and pending_work:
+        if candidate is None and self._incomplete:
             self._diagnose_deadlock()
         return candidate
 
@@ -541,25 +739,58 @@ class GPUSimulator:
         )
 
     def _advance(self, t_next: float) -> None:
-        """Integrate progress to ``t_next`` and process completions."""
+        """Advance the virtual clocks to ``t_next`` and process completions."""
         dt = t_next - self._now
+        throughput = self._gpu.sm.issue_throughput
         if dt > 0:
-            for tb in self._resident.values():
-                if tb.compute_rate > 0:
-                    tb.compute_left = max(0.0, tb.compute_left - tb.compute_rate * dt)
-                if tb.memory_rate > 0:
-                    tb.memory_left = max(0.0, tb.memory_left - tb.memory_rate * dt)
+            if self._mem_active:
+                self._mem_virtual += (
+                    self._gpu.dram_bandwidth / self._mem_active
+                ) * dt
+            for sm_state in self._sms:
+                if sm_state.compute_active:
+                    sm_state.virtual += (
+                        throughput / sm_state.compute_active
+                    ) * dt
         self._now = t_next
 
-        finished = [tb for tb in self._resident.values() if tb.done]
-        for tb in finished:
-            self._complete_tb(tb)
+        finished = self._zombies
+        self._zombies = []
+        heap = self._mem_heap
+        v = self._mem_virtual
+        while heap and heap[0][0] - v <= _EPS:
+            tb = heapq.heappop(heap)[2]
+            tb.memory_active = False
+            self._mem_active -= 1
+            if not tb.compute_active:
+                finished.append(tb)
+        for sm_state in self._sms:
+            heap = sm_state.heap
+            v = sm_state.virtual
+            while heap and heap[0][0] - v <= _EPS:
+                tb = heapq.heappop(heap)[2]
+                tb.compute_active = False
+                sm_state.compute_active -= 1
+                if not tb.memory_active:
+                    finished.append(tb)
+        if finished:
+            finished.sort(key=lambda tb: tb.seq)  # dispatch order
+            for tb in finished:
+                self._complete_tb(tb)
 
     def _complete_tb(self, tb: _ResidentTB) -> None:
         st = self._states[tb.launch.instance_id]
-        self._sms[tb.sm].release(st.kernel)
-        del self._sms[tb.sm].resident[tb.key]
-        del self._resident[tb.key]
+        sm_state = self._sms[tb.sm]
+        sm_state.release(st.kernel)
+        iid = tb.launch.instance_id
+        sm_state.resident_total -= 1
+        remaining = sm_state.resident_by_instance[iid] - 1
+        if remaining:
+            sm_state.resident_by_instance[iid] = remaining
+        else:
+            del sm_state.resident_by_instance[iid]
+        self._resident_total -= 1
+        self._release_log.append(tb.sm)
         st.resident_count -= 1
         st.completed_tbs += 1
         assert self._trace is not None
@@ -594,14 +825,15 @@ class GPUSimulator:
                 tag=st.launch.tag,
             )
         )
+        self._incomplete -= 1
         self._scheduler.on_kernel_complete(st.launch, self)
-        # resolve dependents
-        for iid in self._order:
+        # resolve dependents via the reverse-dependency map (submission
+        # order within the map matches the order the old full scan used)
+        for iid in self._dependents.get(st.launch.instance_id, ()):
             dep_st = self._states[iid]
-            if st.launch.instance_id in dep_st.remaining_deps:
-                dep_st.remaining_deps.discard(st.launch.instance_id)
-                if not dep_st.remaining_deps and dep_st.arrival is None:
-                    self._assign_arrival(dep_st, ready_at=self._now)
+            dep_st.remaining_deps.discard(st.launch.instance_id)
+            if not dep_st.remaining_deps and dep_st.arrival is None:
+                self._assign_arrival(dep_st, ready_at=self._now)
 
     def _check_all_complete(self) -> None:
         leftovers = [

@@ -336,6 +336,58 @@ class ExecutionTrace:
         return overlap
 
     # ------------------------------------------------------------------
+    # differential-testing support
+    # ------------------------------------------------------------------
+    def differences(self, other: "ExecutionTrace",
+                    limit: int = 5) -> List[str]:
+        """Describe where two traces diverge, bit-exactly.
+
+        Used by the simulator equivalence suite: the production and
+        reference cores must agree on every record and span, including
+        order and exact float values.
+
+        Args:
+            other: trace to compare against.
+            limit: maximum number of mismatch descriptions to collect.
+
+        Returns:
+            Human-readable mismatch descriptions; empty when the traces
+            are identical.
+        """
+        diffs: List[str] = []
+        if self._num_sms != other._num_sms:
+            diffs.append(f"num_sms: {self._num_sms} != {other._num_sms}")
+        if len(self._tb_records) != len(other._tb_records):
+            diffs.append(
+                f"tb_record count: {len(self._tb_records)} != "
+                f"{len(other._tb_records)}"
+            )
+        for i, (a, b) in enumerate(zip(self._tb_records, other._tb_records)):
+            if len(diffs) >= limit:
+                return diffs
+            if a != b:
+                diffs.append(f"tb_record[{i}]: {a} != {b}")
+        if sorted(self._spans) != sorted(other._spans):
+            diffs.append(
+                f"span instances: {sorted(self._spans)} != "
+                f"{sorted(other._spans)}"
+            )
+            return diffs
+        for iid in sorted(self._spans):
+            if len(diffs) >= limit:
+                break
+            if self._spans[iid] != other._spans[iid]:
+                diffs.append(
+                    f"span[{iid}]: {self._spans[iid]} != {other._spans[iid]}"
+                )
+        return diffs
+
+    def identical_to(self, other: "ExecutionTrace") -> bool:
+        """True when both traces hold bit-identical records and spans,
+        in the same order."""
+        return not self.differences(other, limit=1)
+
+    # ------------------------------------------------------------------
     def validate(self) -> None:
         """Internal consistency check (used heavily by tests).
 

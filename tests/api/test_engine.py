@@ -196,3 +196,18 @@ class TestArtifact:
             list(get_benchmark("nn").kernels)
         )
         assert artifact.timing.busy_cycles == legacy.sim.trace.busy_cycles
+
+
+class TestChunkedBatches:
+    """Large batches ship to workers in chunks; results stay identical."""
+
+    def test_large_batch_chunked_equals_sequential(self):
+        # 18 specs over 2 workers -> chunksize > 1 exercises chunked map
+        specs = [
+            RunSpec(workload=WorkloadSpec(benchmark=name))
+            for name in ("nn", "gaussian", "backprop")
+        ] * 6
+        sequential = ENGINE.run_many(specs, workers=1)
+        chunked = ENGINE.run_many(specs, workers=2)
+        assert chunked == sequential
+        assert [a.spec for a in chunked] == specs

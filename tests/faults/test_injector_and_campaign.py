@@ -175,3 +175,50 @@ class TestQueueInducedPhaseAlignment:
         assert run.diversity.phase_aligned_pairs == 0
         report = FaultCampaign(run).run(self.CONFIG)
         assert report.sdc == 0
+
+
+class TestIncrementalOutcomeCounters:
+    """CampaignReport tallies outcomes on append instead of rescanning."""
+
+    def test_counters_match_full_recount(self, srrs_run):
+        report = FaultCampaign(srrs_run).run(
+            CampaignConfig(transient_ccf=40, permanent_sm=10, seu=10, seed=5)
+        )
+        for outcome in FaultOutcome:
+            recount = sum(
+                1 for r in report.injections if r.outcome is outcome
+            )
+            assert report.count(outcome) == recount
+        assert report.masked + report.detected + report.sdc == report.total
+
+    def test_counts_fold_in_direct_appends(self, srrs_run):
+        """Legacy code appends to ``injections`` directly; counts must
+        still be correct (folded lazily)."""
+        campaign = FaultCampaign(srrs_run)
+        faults = campaign.sample_faults(
+            CampaignConfig(transient_ccf=6, permanent_sm=2, seu=2, seed=9)
+        )
+        report = campaign.run(faults=faults[:5])
+        before = report.total
+        assert report.masked + report.detected + report.sdc == before
+        for fault in faults[5:]:
+            report.injections.append(campaign.classify(fault))
+        assert report.total == len(faults)
+        assert (
+            report.masked + report.detected + report.sdc == len(faults)
+        )
+
+    def test_record_maintains_by_kind(self, srrs_run):
+        campaign = FaultCampaign(srrs_run)
+        faults = campaign.sample_faults(
+            CampaignConfig(transient_ccf=10, permanent_sm=4, seu=4, seed=11)
+        )
+        report = campaign.run(faults=faults)
+        assert sum(
+            count
+            for outcomes in report.by_kind.values()
+            for count in outcomes.values()
+        ) == report.total
+        assert set(report.by_kind) <= {
+            "TransientCCF", "PermanentSMFault", "SEUFault"
+        }
