@@ -1,0 +1,143 @@
+"""Benchmarks of the sharded campaign orchestration layer.
+
+Exercises the acceptance scenario of the campaigns subsystem: a
+100k-injection campaign is run sharded across 4 workers, interrupted
+mid-way, resumed, and its aggregate report is verified bit-identical to
+the unsharded single-process run.  A second scenario measures
+injections/second against the worker count.
+
+The ``campaign/*`` scenarios emit ``BENCH_campaigns.json`` at the
+repository root (wall seconds, injections/sec, worker-scaling speedups,
+and the aggregate digests proving determinism) so CI can track campaign
+throughput across PRs.  They run meaningfully under every pytest-benchmark
+mode, including ``--benchmark-disable``.
+
+Note on speedups: the recorded scaling is bounded by the machine's core
+count — on a single-core runner every worker count lands near 1.0x and
+only the determinism assertions carry information.  The digests must
+match *everywhere*.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict
+
+from repro.analysis.campaigns import campaign_worker_scaling
+from repro.api import CampaignSpec, FaultPlanSpec, RunSpec, WorkloadSpec
+from repro.campaigns import CampaignStore, campaign_status, resume_campaign, run_campaign
+
+_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_campaigns.json"
+_RECORDS: Dict[str, Dict[str, object]] = {}
+
+
+def _record(scenario: str, **metrics: object) -> None:
+    """Merge one scenario's metrics into the JSON artifact (see
+    ``bench_simulator_performance._record`` for the merge rationale)."""
+    _RECORDS[scenario] = metrics
+    scenarios: Dict[str, Dict[str, object]] = {}
+    try:
+        scenarios = json.loads(_BENCH_JSON.read_text()).get("scenarios", {})
+    except (OSError, ValueError):
+        pass  # absent or unreadable artifact: start fresh
+    scenarios.update(_RECORDS)
+    payload = {
+        "schema": "bench-campaigns/v1",
+        "generated_by": "benchmarks/bench_campaigns.py",
+        "scenarios": scenarios,
+    }
+    _BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _campaign_spec(total: int, *, shards: int, seed: int = 7) -> CampaignSpec:
+    ccf = total * 6 // 10
+    perm = total * 2 // 10
+    seu = total - ccf - perm
+    return CampaignSpec(
+        run=RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                    policy="srrs"),
+        faults=FaultPlanSpec(transient_ccf=ccf, permanent_sm=perm, seu=seu,
+                             seed=seed),
+        shards=shards,
+    )
+
+
+def test_campaign_100k_interrupt_resume_bit_identity(benchmark, tmp_path):
+    """BENCH scenario ``campaign/resume_bit_identity``: 100k injections,
+    32 shards, 4 workers, killed after 12 shards, resumed — the aggregate
+    must be bit-identical to the unsharded single-process run.
+    """
+    total = 100_000
+    sharded_spec = _campaign_spec(total, shards=32)
+    unsharded_spec = _campaign_spec(total, shards=1)
+    store = CampaignStore(tmp_path / "store")
+
+    def run():
+        t0 = time.perf_counter()
+        reference = run_campaign(unsharded_spec, workers=1)
+        unsharded_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        run_campaign(sharded_spec, store=store, workers=4, max_shards=12)
+        interrupted_s = time.perf_counter() - t0
+        status = campaign_status(store)
+        assert not status.complete
+        assert status.completed_shards == 12
+
+        t0 = time.perf_counter()
+        resumed = resume_campaign(store, workers=4)
+        resumed_s = time.perf_counter() - t0
+        assert campaign_status(store).complete
+
+        assert resumed.total == total
+        assert resumed.to_dict() == reference.to_dict()
+        assert resumed.digest() == reference.digest()
+
+        sharded_total_s = interrupted_s + resumed_s
+        _record(
+            "campaign/resume_bit_identity",
+            injections=total,
+            shards=32,
+            workers=4,
+            interrupted_after_shards=12,
+            unsharded_s=round(unsharded_s, 3),
+            sharded_total_s=round(sharded_total_s, 3),
+            injections_per_sec_unsharded=round(total / unsharded_s, 1),
+            injections_per_sec_sharded=round(total / sharded_total_s, 1),
+            digest=resumed.digest(),
+            bit_identical=True,
+        )
+        return resumed
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.sdc == 0  # SRRS detects everything (the paper's claim)
+
+
+def test_campaign_worker_scaling(benchmark):
+    """BENCH scenario ``campaign/worker_scaling``: injections/sec at 1, 2
+    and 4 workers over the same 20k-injection campaign, with the digest
+    cross-check that parallelism never changes the aggregate.
+    """
+    spec = _campaign_spec(20_000, shards=16)
+
+    def run():
+        rows = campaign_worker_scaling(spec, worker_counts=(1, 2, 4))
+        digests = {row.digest for row in rows}
+        assert len(digests) == 1  # determinism across worker counts
+        for row in rows:
+            _record(
+                f"campaign/worker_scaling_w{row.workers}",
+                workers=row.workers,
+                injections=row.injections,
+                wall_s=row.wall_s,
+                injections_per_sec=row.injections_per_sec,
+                speedup_vs_w1=row.speedup,
+                digest=row.digest,
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert [row.workers for row in rows] == [1, 2, 4]
+    assert all(row.injections == 20_000 for row in rows)

@@ -11,7 +11,10 @@ Top-level packages:
 
 * :mod:`repro.api` — the declarative front door: :class:`RunSpec`,
   :class:`RunArtifact`, the :class:`Engine` facade with parallel batch
-  execution, and the scenario registry;
+  execution, the scenario registry, and :class:`CampaignSpec`;
+* :mod:`repro.campaigns` — sharded, resumable fault-injection campaign
+  orchestration (process-pool shards, JSONL checkpoint store, streaming
+  aggregate fold);
 * :mod:`repro.gpu` — GPU model, discrete-event timing simulator, kernel
   schedulers (default / SRRS / HALF), COTS end-to-end model;
 * :mod:`repro.redundancy` — redundant execution manager, output
@@ -88,11 +91,12 @@ from repro.redundancy import (
 )
 from repro.workloads import classify_kernel, get_benchmark
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
-# the api package imports repro.__version__ lazily at run time, so this
-# import must stay below the version assignment
+# the api and campaigns packages import repro.__version__ lazily at run
+# time, so these imports must stay below the version assignment
 from repro.api import (
+    CampaignSpec,
     Engine,
     FaultPlanSpec,
     GPUSpec,
@@ -105,6 +109,12 @@ from repro.api import (
     run,
     run_many,
     scenario_names,
+)
+from repro.campaigns import (
+    CampaignStore,
+    campaign_status,
+    resume_campaign,
+    run_campaign,
 )
 
 __all__ = [
@@ -157,4 +167,10 @@ __all__ = [
     "register_scenario",
     "scenario_names",
     "build_scenario",
+    # sharded campaigns
+    "CampaignSpec",
+    "CampaignStore",
+    "run_campaign",
+    "resume_campaign",
+    "campaign_status",
 ]

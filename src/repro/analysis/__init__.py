@@ -14,6 +14,10 @@ from repro.analysis.experiments import (
     policy_fit_matrix,
     sm_count_sweep,
 )
+from repro.analysis.campaigns import (
+    CampaignScalingRow,
+    campaign_worker_scaling,
+)
 from repro.analysis.bounds import (
     half_chain_bound,
     isolated_kernel_bound,
@@ -34,6 +38,8 @@ __all__ = [
     "policy_fit_matrix",
     "dispatch_latency_sweep",
     "sm_count_sweep",
+    "CampaignScalingRow",
+    "campaign_worker_scaling",
     "render_table",
     "render_bars",
     "render_grouped_bars",

@@ -1,0 +1,85 @@
+"""Campaign-scaling measurements (the ``BENCH_campaigns.json`` rows).
+
+Measures how sharded campaign throughput (injections/second) scales with
+the worker count, while asserting the determinism contract along the way:
+every worker count must produce the *same* aggregate report digest —
+parallelism changes the wall clock, never the safety numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.api.campaign import CampaignSpec
+from repro.campaigns.runner import run_campaign
+from repro.errors import CampaignError
+
+__all__ = ["CampaignScalingRow", "campaign_worker_scaling"]
+
+
+@dataclass(frozen=True)
+class CampaignScalingRow:
+    """Throughput of one worker count over the same campaign.
+
+    Attributes:
+        workers: process-pool size used.
+        injections: campaign size (identical across rows).
+        wall_s: wall-clock seconds for the full campaign.
+        injections_per_sec: ``injections / wall_s``.
+        speedup: throughput relative to the ``workers=1`` row.
+        digest: aggregate-report digest (identical across rows by the
+            determinism contract).
+    """
+
+    workers: int
+    injections: int
+    wall_s: float
+    injections_per_sec: float
+    speedup: float
+    digest: str
+
+
+def campaign_worker_scaling(spec: CampaignSpec,
+                            worker_counts: Sequence[int] = (1, 2, 4)
+                            ) -> List[CampaignScalingRow]:
+    """Run the same campaign at several worker counts and time each run.
+
+    Every run is in-memory (no store) and starts from scratch, so rows
+    are comparable.  The aggregate digest is verified to be identical
+    across worker counts.
+
+    Raises:
+        CampaignError: when two worker counts disagree on the aggregate
+            report — a determinism regression, never a measurement issue.
+    """
+    rows: List[CampaignScalingRow] = []
+    base_throughput: float = 0.0
+    digest: str = ""
+    for workers in worker_counts:
+        start = time.perf_counter()
+        report = run_campaign(spec, workers=workers)
+        wall = time.perf_counter() - start
+        run_digest = report.digest()
+        if digest and run_digest != digest:
+            raise CampaignError(
+                f"workers={workers} produced digest {run_digest}, previous "
+                f"counts produced {digest} — sharded campaign determinism "
+                "is broken"
+            )
+        digest = run_digest
+        throughput = report.total / wall if wall > 0 else float("inf")
+        if not rows:
+            base_throughput = throughput
+        rows.append(
+            CampaignScalingRow(
+                workers=workers,
+                injections=report.total,
+                wall_s=round(wall, 6),
+                injections_per_sec=round(throughput, 1),
+                speedup=round(throughput / base_throughput, 3),
+                digest=run_digest,
+            )
+        )
+    return rows

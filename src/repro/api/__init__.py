@@ -1,7 +1,7 @@
-"""One declarative front door for every run (:class:`RunSpec` →
-:class:`Engine` → :class:`RunArtifact`).
+"""One declarative front door for every run.
 
-The subsystem has three parts:
+The pipeline is :class:`RunSpec` → :class:`Engine` → :class:`RunArtifact`,
+in four parts:
 
 * :mod:`repro.api.spec` — frozen, JSON-round-trippable run descriptions
   (GPU + workload + policy + redundancy + optional fault plan / COTS /
@@ -10,7 +10,10 @@ The subsystem has three parts:
   and ``run_many(specs, workers=N)`` (deterministic process-pool batch
   execution);
 * :mod:`repro.api.scenarios` — the registry of named, parameterized spec
-  builders covering every paper figure and extension experiment.
+  builders covering every paper figure and extension experiment;
+* :mod:`repro.api.campaign` — :class:`CampaignSpec`, the declarative
+  description of a sharded resumable fault-injection campaign executed by
+  :mod:`repro.campaigns`.
 
 Quickstart::
 
@@ -24,6 +27,7 @@ Quickstart::
     artifacts = repro.run_many(specs, workers=4)
 """
 
+from repro.api.campaign import CampaignSpec
 from repro.api.artifact import (
     ClassificationRow,
     ComparisonSummary,
@@ -60,6 +64,7 @@ __all__ = [
     "WorkloadSpec",
     "FaultPlanSpec",
     "CotsSpec",
+    "CampaignSpec",
     # artifacts
     "RunArtifact",
     "TimingSummary",

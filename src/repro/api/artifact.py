@@ -167,6 +167,7 @@ class FaultSummary:
         return {kind: dict(outcomes) for kind, outcomes in self.by_kind}
 
     def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-compatible, nested ``by_kind``)."""
         data = _flat_to_dict(self)
         data["by_kind"] = [
             [kind, [list(o) for o in outcomes]] for kind, outcomes in self.by_kind
@@ -175,6 +176,7 @@ class FaultSummary:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FaultSummary":
+        """Build the summary from a mapping."""
         payload = dict(data)
         payload["by_kind"] = tuple(
             (kind, tuple((name, int(count)) for name, count in outcomes))
@@ -213,7 +215,7 @@ class RunArtifact:
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data form (nested dicts/lists, JSON-compatible)."""
-        def opt(section) -> Optional[Dict[str, Any]]:
+        def _opt(section) -> Optional[Dict[str, Any]]:
             return section.to_dict() if section is not None else None
 
         return {
@@ -221,12 +223,12 @@ class RunArtifact:
             "config_hash": self.config_hash,
             "version": self.version,
             "scheduler": self.scheduler,
-            "timing": opt(self.timing),
-            "diversity": opt(self.diversity),
-            "comparisons": opt(self.comparisons),
+            "timing": _opt(self.timing),
+            "diversity": _opt(self.diversity),
+            "comparisons": _opt(self.comparisons),
             "classification": [r.to_dict() for r in self.classification],
-            "cots": opt(self.cots),
-            "faults": opt(self.faults),
+            "cots": _opt(self.cots),
+            "faults": _opt(self.faults),
         }
 
     @classmethod

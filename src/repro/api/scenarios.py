@@ -78,15 +78,15 @@ def register_scenario(name: str, description: str
     Raises:
         ConfigurationError: when the name is already taken.
     """
-    def decorator(builder: Callable[..., List[RunSpec]]
-                  ) -> Callable[..., List[RunSpec]]:
+    def _decorator(builder: Callable[..., List[RunSpec]]
+                   ) -> Callable[..., List[RunSpec]]:
         if name in _REGISTRY:
             raise ConfigurationError(f"scenario {name!r} already registered")
         _REGISTRY[name] = Scenario(
             name=name, description=description, builder=builder
         )
         return builder
-    return decorator
+    return _decorator
 
 
 def get_scenario(name: str) -> Scenario:

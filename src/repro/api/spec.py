@@ -120,9 +120,11 @@ class SMSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SMSpec":
+        """Build the spec from a mapping; raises on unknown fields."""
         return _flat_from_dict(cls, data)
 
     def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-compatible)."""
         return _flat_to_dict(self)
 
 
@@ -202,12 +204,14 @@ class GPUSpec:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-compatible, nested ``sm``)."""
         data = _flat_to_dict(self)
         data["sm"] = self.sm.to_dict() if self.sm is not None else None
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "GPUSpec":
+        """Build the spec from a mapping; raises on unknown fields."""
         if not isinstance(data, Mapping):
             raise ConfigurationError(f"GPUSpec expects a mapping, got {data!r}")
         _check_keys(cls, data)
@@ -255,9 +259,11 @@ class KernelSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "KernelSpec":
+        """Build the spec from a mapping; raises on unknown fields."""
         return _flat_from_dict(cls, data)
 
     def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-compatible)."""
         return _flat_to_dict(self)
 
 
@@ -325,6 +331,7 @@ class WorkloadSpec:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-compatible, nested ``kernels``)."""
         return {
             "benchmark": self.benchmark,
             "synthetic": self.synthetic,
@@ -334,6 +341,7 @@ class WorkloadSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        """Build the spec from a mapping; raises on unknown fields."""
         if not isinstance(data, Mapping):
             raise ConfigurationError(
                 f"WorkloadSpec expects a mapping, got {data!r}"
@@ -379,9 +387,11 @@ class FaultPlanSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlanSpec":
+        """Build the spec from a mapping; raises on unknown fields."""
         return _flat_from_dict(cls, data)
 
     def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-compatible)."""
         return _flat_to_dict(self)
 
 
@@ -421,9 +431,11 @@ class CotsSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CotsSpec":
+        """Build the spec from a mapping; raises on unknown fields."""
         return _flat_from_dict(cls, data)
 
     def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-compatible)."""
         return _flat_to_dict(self)
 
 

@@ -1,0 +1,62 @@
+"""Sharded, resumable fault-injection campaign orchestration.
+
+The :mod:`repro.faults` layer can classify one injection at a time; this
+package scales that primitive to ROADMAP-size campaigns (millions of
+injections) without giving up determinism:
+
+* :mod:`repro.campaigns.sharding` — deterministic partition of the
+  campaign's fault-index space into contiguous shards;
+* :mod:`repro.campaigns.store` — the JSONL shard-artifact store with
+  digest-verified checkpoint/resume;
+* :mod:`repro.campaigns.runner` — process-pool shard execution and the
+  streaming fold into one aggregate
+  :class:`~repro.faults.campaign.CampaignReport`.
+
+Quickstart::
+
+    from repro.api import CampaignSpec, FaultPlanSpec, RunSpec, WorkloadSpec
+    from repro.campaigns import run_campaign
+
+    spec = CampaignSpec(
+        run=RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                    policy="srrs"),
+        faults=FaultPlanSpec(transient_ccf=60_000, permanent_sm=20_000,
+                             seu=20_000, seed=7),
+        shards=32,
+    )
+    report = run_campaign(spec, store="out/hotspot-srrs", workers=4)
+    assert report.sdc == 0
+
+Interrupt it, run the same call again: finished shards are skipped and
+the aggregate report is bit-identical to an uninterrupted run.  The same
+operations are available from the shell via ``python -m repro campaign
+run|resume|status|report``; the determinism contract is documented in
+``docs/CAMPAIGNS.md``.
+"""
+
+from repro.campaigns.runner import (
+    CampaignStatus,
+    baseline_campaign,
+    campaign_status,
+    fold_report,
+    resume_campaign,
+    run_campaign,
+    validated_records,
+)
+from repro.campaigns.sharding import DEFAULT_SHARDS, Shard, plan_shards
+from repro.campaigns.store import CampaignStore, ShardRecord
+
+__all__ = [
+    "CampaignStatus",
+    "CampaignStore",
+    "DEFAULT_SHARDS",
+    "Shard",
+    "ShardRecord",
+    "baseline_campaign",
+    "campaign_status",
+    "fold_report",
+    "plan_shards",
+    "resume_campaign",
+    "run_campaign",
+    "validated_records",
+]

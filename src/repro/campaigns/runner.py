@@ -1,0 +1,378 @@
+"""Sharded campaign execution: process pools, checkpointing, resume.
+
+The runner turns a :class:`~repro.api.campaign.CampaignSpec` into an
+aggregate :class:`~repro.faults.campaign.CampaignReport` by:
+
+1. planning contiguous shards of the fault-index space
+   (:func:`repro.campaigns.sharding.plan_shards`);
+2. skipping shards already present in the campaign store (resume);
+3. executing the remaining shards — in-process or on a process pool in
+   the style of :meth:`repro.api.engine.Engine.run_many`, except that
+   shards persist to the store *as they complete* (``as_completed``
+   rather than an order-preserving ``map``), so an interrupt loses at
+   most the shards still in flight;
+4. folding the per-shard outcome tables into one incremental
+   :class:`~repro.faults.campaign.CampaignReport` in shard order — the
+   aggregate is O(shards) in memory and never materialises the campaign's
+   per-injection records.
+
+Every shard regenerates its faults from the campaign's indexed seed
+schedule, so the aggregate is bit-identical for any shard plan, worker
+count or interrupt/resume history (see ``docs/CAMPAIGNS.md`` for the
+contract and its proof obligations).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.api.campaign import CampaignSpec
+from repro.api.spec import RunSpec
+from repro.campaigns.sharding import Shard, plan_shards
+from repro.campaigns.store import (
+    OUTCOME_KEYS,
+    OUTCOMES_BY_KEY,
+    CampaignStore,
+    ShardRecord,
+)
+from repro.errors import CampaignError
+from repro.faults.campaign import (
+    SDC_SAMPLE_LIMIT,
+    CampaignReport,
+    FaultCampaign,
+)
+from repro.faults.outcomes import FaultOutcome
+from repro.redundancy.manager import RedundantKernelManager
+
+__all__ = [
+    "CampaignStatus",
+    "baseline_campaign",
+    "campaign_status",
+    "fold_report",
+    "resume_campaign",
+    "run_campaign",
+    "validated_records",
+]
+
+# Per-process memo of clean baseline runs, keyed by (RunSpec.config_hash,
+# validate).  Worker processes are reused across shard tasks, so each
+# process simulates the attacked run once per campaign instead of once
+# per shard.  Bounded: distinct baselines per process stay tiny (one per
+# campaign), but guard against pathological reuse anyway.
+_BASELINE_CACHE: Dict[Tuple[str, bool], FaultCampaign] = {}
+_BASELINE_CACHE_LIMIT = 8
+
+
+def baseline_campaign(run_spec: RunSpec, *,
+                      validate: bool = True) -> FaultCampaign:
+    """Build (or fetch from the per-process cache) the clean run to attack.
+
+    Mirrors the redundant leg of :meth:`repro.api.engine.Engine.run`: the
+    spec's GPU and workload are materialised and executed once under the
+    spec's policy and redundancy degree; the resulting clean
+    :class:`~repro.redundancy.manager.RedundantRunResult` seeds a
+    :class:`~repro.faults.campaign.FaultCampaign`.
+
+    Raises:
+        CampaignError: when the workload resolves to no kernels (nothing
+            to inject into).
+    """
+    key = (run_spec.config_hash, validate)
+    cached = _BASELINE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    gpu = run_spec.gpu.to_config()
+    kernels = run_spec.workload.resolve(gpu)
+    if not kernels:
+        raise CampaignError(
+            f"campaign workload {run_spec.workload.label!r} resolves to no "
+            "kernels — there is no trace to inject faults into"
+        )
+    manager = RedundantKernelManager(
+        gpu, run_spec.policy, copies=run_spec.effective_copies,
+        validate=validate,
+    )
+    run = manager.run(list(kernels), tag=run_spec.tag)
+    campaign = FaultCampaign(run)
+    if len(_BASELINE_CACHE) >= _BASELINE_CACHE_LIMIT:
+        _BASELINE_CACHE.clear()
+    _BASELINE_CACHE[key] = campaign
+    return campaign
+
+
+def _execute_shard(task: Tuple[str, int, int, int, bool]) -> ShardRecord:
+    """Process-pool entry point: run one shard to a :class:`ShardRecord`.
+
+    The task is a plain picklable tuple ``(spec_json, shard_index, start,
+    stop, validate)``.  The shard samples exactly its slice of the indexed
+    fault population, classifies each injection against the (cached)
+    clean trace, and aggregates outcome counts — per-injection results
+    never leave the worker.
+    """
+    spec_json, shard_index, start, stop, validate = task
+    spec = CampaignSpec.from_json(spec_json)
+    campaign = baseline_campaign(spec.run, validate=validate)
+    config = spec.faults.to_config(seed=spec.run.seed)
+    counts: Dict[str, Dict[str, int]] = {}
+    sdc_samples: List[str] = []
+    for index in range(start, stop):
+        fault = campaign.fault_at(config, index)
+        result = campaign.classify(fault)
+        kind = type(fault).__name__
+        bucket = counts.setdefault(kind, {})
+        key = OUTCOME_KEYS[result.outcome]
+        bucket[key] = bucket.get(key, 0) + 1
+        if (result.outcome is FaultOutcome.SDC
+                and len(sdc_samples) < SDC_SAMPLE_LIMIT):
+            sdc_samples.append(result.fault_label)
+    return ShardRecord(
+        shard=shard_index,
+        start=start,
+        stop=stop,
+        policy=campaign.policy,
+        counts=counts,
+        sdc_samples=tuple(sdc_samples),
+    )
+
+
+# ----------------------------------------------------------------------
+# aggregate fold
+# ----------------------------------------------------------------------
+def fold_report(records: Iterable[ShardRecord]) -> CampaignReport:
+    """Fold shard records (any order) into one aggregate report.
+
+    Records are folded in shard-index order, so the bounded
+    ``sdc_samples`` list of the aggregate equals the first
+    :data:`~repro.faults.campaign.SDC_SAMPLE_LIMIT` SDC labels in fault-
+    index order — independent of completion order, worker count or shard
+    boundaries.
+
+    Raises:
+        CampaignError: on an empty record set or disagreeing policies.
+    """
+    ordered = sorted(records, key=lambda r: r.shard)
+    if not ordered:
+        raise CampaignError("no completed shards to fold into a report")
+    policies = {r.policy for r in ordered}
+    if len(policies) != 1:
+        raise CampaignError(
+            f"shards disagree on the attacked policy: {sorted(policies)}"
+        )
+    report = CampaignReport(policy=ordered[0].policy)
+    for record in ordered:
+        by_kind = {
+            kind: {
+                OUTCOMES_BY_KEY[key]: count for key, count in bucket.items()
+            }
+            for kind, bucket in record.counts.items()
+        }
+        report.merge_counts(by_kind, sdc_samples=record.sdc_samples)
+    return report
+
+
+# ----------------------------------------------------------------------
+# status
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Progress snapshot of a (possibly partial) campaign store.
+
+    Attributes:
+        spec_hash: config hash of the campaign the store belongs to.
+        policy: attacked scheduler label (``None`` before any shard done).
+        total_shards / completed_shards: shard-plan progress.
+        total_injections / completed_injections: injection progress.
+        masked / detected / sdc: outcome counts over *completed* shards.
+    """
+
+    spec_hash: str
+    policy: Optional[str]
+    total_shards: int
+    completed_shards: int
+    total_injections: int
+    completed_injections: int
+    masked: int
+    detected: int
+    sdc: int
+
+    @property
+    def complete(self) -> bool:
+        """True when every shard of the plan has a persisted record."""
+        return self.completed_shards == self.total_shards
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form for ``campaign status --json``."""
+        return {
+            "spec_hash": self.spec_hash,
+            "policy": self.policy,
+            "total_shards": self.total_shards,
+            "completed_shards": self.completed_shards,
+            "total_injections": self.total_injections,
+            "completed_injections": self.completed_injections,
+            "masked": self.masked,
+            "detected": self.detected,
+            "sdc": self.sdc,
+            "complete": self.complete,
+        }
+
+
+def campaign_status(store: Union[CampaignStore, str, Path]) -> CampaignStatus:
+    """Progress of the campaign persisted in ``store``.
+
+    Raises:
+        CampaignError: when the store has no (valid) manifest.
+    """
+    store = _as_store(store)
+    spec = store.load_spec()
+    plan = plan_shards(spec.total_injections, shards=spec.shards,
+                       shard_size=spec.shard_size)
+    records = validated_records(store, plan)
+    totals: Dict[FaultOutcome, int] = {}
+    for record in records.values():
+        for outcome, count in record.outcome_totals().items():
+            totals[outcome] = totals.get(outcome, 0) + count
+    policy = None
+    if records:
+        policy = records[min(records)].policy
+    return CampaignStatus(
+        spec_hash=spec.config_hash,
+        policy=policy,
+        total_shards=len(plan),
+        completed_shards=len(records),
+        total_injections=spec.total_injections,
+        completed_injections=sum(r.injections for r in records.values()),
+        masked=totals.get(FaultOutcome.MASKED, 0),
+        detected=totals.get(FaultOutcome.DETECTED, 0),
+        sdc=totals.get(FaultOutcome.SDC, 0),
+    )
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def _as_store(store: Union[CampaignStore, str, Path, None]
+              ) -> Optional[CampaignStore]:
+    """Coerce a path-ish argument into a :class:`CampaignStore`."""
+    if store is None or isinstance(store, CampaignStore):
+        return store
+    return CampaignStore(store)
+
+
+def validated_records(store: CampaignStore,
+                      plan: Tuple[Shard, ...]) -> Dict[int, ShardRecord]:
+    """Load the store's records, verifying each against the shard plan.
+
+    Raises:
+        CampaignError: when a persisted record does not correspond to a
+            shard of the plan (wrong index or range) — the signature of
+            mixing artifact logs across campaigns.
+    """
+    records = store.load_records()
+    for index, record in records.items():
+        if index >= len(plan):
+            raise CampaignError(
+                f"store has shard {index} but the plan only has "
+                f"{len(plan)} shards — artifact log does not match the spec"
+            )
+        shard = plan[index]
+        if (record.start, record.stop) != (shard.start, shard.stop):
+            raise CampaignError(
+                f"shard {index} covers [{record.start}, {record.stop}) in "
+                f"the store but [{shard.start}, {shard.stop}) in the plan — "
+                "artifact log does not match the spec"
+            )
+    return records
+
+
+def run_campaign(spec: CampaignSpec, *,
+                 store: Union[CampaignStore, str, Path, None] = None,
+                 workers: int = 1,
+                 max_shards: Optional[int] = None,
+                 validate: bool = True) -> CampaignReport:
+    """Run (or continue) a sharded campaign and fold its aggregate report.
+
+    Args:
+        spec: the declarative campaign.
+        store: campaign directory (or :class:`CampaignStore`) for
+            checkpoint/resume; ``None`` runs fully in memory.  An existing
+            store must have been created for this exact spec; its finished
+            shards are skipped.
+        workers: process count for pending shards; ``1`` executes
+            in-process.
+        max_shards: execute at most this many *pending* shards (the
+            lowest-indexed ones), then return the partial fold — a
+            checkpointed budget knob, also used by tests and benchmarks to
+            interrupt a campaign deterministically.
+        validate: forward the simulator's trace-validation switch.
+
+    Returns:
+        The aggregate :class:`~repro.faults.campaign.CampaignReport` over
+        every *completed* shard.  Unless ``max_shards`` truncated the run,
+        that is the full campaign — bit-identical (``report.to_dict()``)
+        for any ``shards``/``workers``/resume history.
+
+    Raises:
+        CampaignError: on store/spec mismatches, corrupt artifacts, or an
+            invalid worker count.
+    """
+    if workers < 1:
+        raise CampaignError("workers must be >= 1")
+    plan = plan_shards(spec.total_injections, shards=spec.shards,
+                       shard_size=spec.shard_size)
+    store = _as_store(store)
+    done: Dict[int, ShardRecord] = {}
+    if store is not None:
+        store.initialise(spec)
+        done = validated_records(store, plan)
+
+    pending = [shard for shard in plan if shard.index not in done]
+    if max_shards is not None:
+        pending = pending[:max(0, max_shards)]
+
+    if pending:
+        spec_json = spec.to_json()
+        tasks = [
+            (spec_json, shard.index, shard.start, shard.stop, validate)
+            for shard in pending
+        ]
+        for record in _execute(tasks, workers):
+            if store is not None:
+                store.append(record)
+            done[record.shard] = record
+
+    return fold_report(done.values())
+
+
+def _execute(tasks: List[Tuple[str, int, int, int, bool]],
+             workers: int) -> Iterable[ShardRecord]:
+    """Yield shard records as they complete (in-process or pooled)."""
+    if workers == 1 or len(tasks) == 1:
+        for task in tasks:
+            yield _execute_shard(task)
+        return
+    pool_size = min(workers, len(tasks))
+    with ProcessPoolExecutor(max_workers=pool_size) as pool:
+        futures = [pool.submit(_execute_shard, task) for task in tasks]
+        for future in as_completed(futures):
+            yield future.result()
+
+
+def resume_campaign(store: Union[CampaignStore, str, Path], *,
+                    workers: int = 1,
+                    max_shards: Optional[int] = None,
+                    validate: bool = True) -> CampaignReport:
+    """Continue a persisted campaign from its manifest alone.
+
+    Loads the :class:`~repro.api.campaign.CampaignSpec` from the store and
+    delegates to :func:`run_campaign`, which skips finished shards.
+
+    Raises:
+        CampaignError: when the store has no (valid) manifest.
+    """
+    store = _as_store(store)
+    spec = store.load_spec()
+    return run_campaign(spec, store=store, workers=workers,
+                        max_shards=max_shards, validate=validate)

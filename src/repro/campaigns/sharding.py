@@ -1,0 +1,91 @@
+"""Deterministic sharding of a campaign's fault-index space.
+
+A campaign of ``N`` injections is partitioned into contiguous shards of
+the index space ``[0, N)``.  Because the fault population is *indexed*
+(fault ``i`` draws from its own PRNG substream — see
+:func:`repro.faults.campaign.fault_substream`), the population is a pure
+function of the campaign seed and ``N``: shard boundaries only decide
+which worker regenerates which slice, never what the faults are.  Any
+two shard plans over the same campaign therefore yield bit-identical
+aggregate reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import CampaignError
+
+__all__ = ["DEFAULT_SHARDS", "Shard", "plan_shards"]
+
+#: Shard count used when a spec fixes neither ``shards`` nor ``shard_size``.
+DEFAULT_SHARDS = 16
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice ``[start, stop)`` of the fault-index space.
+
+    Attributes:
+        index: position of the shard in the plan (also its artifact key).
+        start: first fault index covered (inclusive).
+        stop: last fault index covered (exclusive).
+    """
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        """Number of injections the shard covers."""
+        return self.stop - self.start
+
+
+def plan_shards(total: int, *, shards: Optional[int] = None,
+                shard_size: Optional[int] = None) -> Tuple[Shard, ...]:
+    """Partition ``[0, total)`` into contiguous, near-equal shards.
+
+    The plan is a pure function of its arguments: shard ``i`` always
+    covers the same range for the same ``(total, shards, shard_size)``,
+    which is what lets a resumed campaign skip finished shards safely.
+
+    Args:
+        total: campaign size (must be >= 1).
+        shards: explicit shard count (clamped to ``total`` so no shard is
+            empty).  Mutually exclusive with ``shard_size``.
+        shard_size: target injections per shard; the count is derived as
+            ``ceil(total / shard_size)``.
+
+    Returns:
+        The shard plan, in index order, covering ``[0, total)`` exactly.
+
+    Raises:
+        CampaignError: on a non-positive total, non-positive shard
+            parameters, or both parameters given at once.
+    """
+    if total < 1:
+        raise CampaignError(f"cannot shard an empty campaign (total={total})")
+    if shards is not None and shard_size is not None:
+        raise CampaignError("set either shards or shard_size, not both")
+    if shard_size is not None:
+        if shard_size < 1:
+            raise CampaignError("shard_size must be >= 1")
+        count = math.ceil(total / shard_size)
+    elif shards is not None:
+        if shards < 1:
+            raise CampaignError("shards must be >= 1")
+        count = min(shards, total)
+    else:
+        count = min(DEFAULT_SHARDS, total)
+
+    base, remainder = divmod(total, count)
+    plan = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < remainder else 0)
+        plan.append(Shard(index=index, start=start, stop=start + size))
+        start += size
+    return tuple(plan)

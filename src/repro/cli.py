@@ -21,6 +21,13 @@ Declarative front door (:mod:`repro.api`)::
 ``run``/``batch`` accept ``--json`` to emit the full artifact(s) as JSON;
 spec files may hold a single RunSpec object or a list of them.
 
+Sharded resumable fault-injection campaigns (:mod:`repro.campaigns`)::
+
+    python -m repro campaign run --spec campaign.json --dir out/c1 --workers 4
+    python -m repro campaign resume --dir out/c1 --workers 4
+    python -m repro campaign status --dir out/c1
+    python -m repro campaign report --dir out/c1 --json
+
 Options: ``--sms N`` changes the GPU size for the simulated artifacts,
 ``--benchmark NAME`` selects the workload for ``coverage``.
 """
@@ -45,10 +52,20 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.report import render_table
 from repro.api.artifact import RunArtifact
+from repro.api.campaign import CampaignSpec
 from repro.api.engine import Engine
 from repro.api.scenarios import get_scenario, scenario_names
 from repro.api.spec import RunSpec
-from repro.errors import ConfigurationError, ReproError
+from repro.campaigns import (
+    CampaignStore,
+    campaign_status,
+    fold_report,
+    plan_shards,
+    run_campaign,
+    validated_records,
+)
+from repro.errors import CampaignError, ConfigurationError, ReproError
+from repro.faults.campaign import CampaignReport
 from repro.gpu.config import GPUConfig
 from repro.iso26262.decomposition import FIGURE1_EXAMPLES
 
@@ -251,6 +268,109 @@ def _cmd_batch(args: argparse.Namespace) -> str:
                  title=f"batch — {len(specs)} runs, {args.workers} worker(s)")
 
 
+# ----------------------------------------------------------------------
+# sharded campaigns: campaign run / resume / status / report
+# ----------------------------------------------------------------------
+def _load_campaign_spec(path: str) -> CampaignSpec:
+    """Load one CampaignSpec JSON file."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read spec file {path!r}: {exc}")
+    return CampaignSpec.from_json(text)
+
+
+def _campaign_report_text(report: CampaignReport, *, as_json: bool,
+                          title: str) -> str:
+    if as_json:
+        return json.dumps(report.to_dict(), sort_keys=True, indent=2)
+    data = report.to_dict()
+    table = render_table(
+        ["policy", "n", "masked", "detected", "SDC", "coverage", "digest"],
+        [[report.policy, report.total, report.masked, report.detected,
+          report.sdc, report.detection_coverage, report.digest()]],
+        title=title,
+    )
+    samples = data["sdc_samples"]
+    if samples:
+        table += "\nSDC examples: " + "; ".join(samples)
+    return table
+
+
+def _campaign_status_text(status, *, as_json: bool) -> str:
+    if as_json:
+        return json.dumps(status.to_dict(), sort_keys=True, indent=2)
+    return render_table(
+        ["policy", "shards", "injections", "masked", "detected", "SDC",
+         "complete"],
+        [[status.policy or "-",
+          f"{status.completed_shards}/{status.total_shards}",
+          f"{status.completed_injections}/{status.total_injections}",
+          status.masked, status.detected, status.sdc, status.complete]],
+        title=f"Campaign status — spec {status.spec_hash}",
+    )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> str:
+    # a complete campaign's aggregate covers exactly the spec's population
+    # (shards are validated against the plan, so the totals can only match
+    # when every shard is in) — checking totals avoids re-reading and
+    # re-verifying the whole shard log just to decide completeness
+    command = args.campaign_command
+    if command == "run":
+        spec = _load_campaign_spec(args.spec)
+        report = run_campaign(spec, store=args.dir, workers=args.workers,
+                              max_shards=args.max_shards)
+        if report.total < spec.total_injections:
+            if args.dir is not None:
+                return _campaign_status_text(
+                    campaign_status(args.dir), as_json=args.json
+                )
+            qualifier = " (PARTIAL)"
+        else:
+            qualifier = ""
+        return _campaign_report_text(
+            report, as_json=args.json,
+            title=f"Campaign report{qualifier} — {spec.label} "
+                  f"({spec.config_hash})",
+        )
+    if command == "resume":
+        store = CampaignStore(args.dir)
+        spec = store.load_spec()
+        report = run_campaign(spec, store=store, workers=args.workers,
+                              max_shards=args.max_shards)
+        if report.total < spec.total_injections:
+            return _campaign_status_text(
+                campaign_status(store), as_json=args.json
+            )
+        return _campaign_report_text(
+            report, as_json=args.json,
+            title=f"Campaign report — spec {spec.config_hash}",
+        )
+    if command == "status":
+        return _campaign_status_text(
+            campaign_status(args.dir), as_json=args.json
+        )
+    # report: fold the persisted shards without executing anything
+    store = CampaignStore(args.dir)
+    spec = store.load_spec()
+    plan = plan_shards(spec.total_injections, shards=spec.shards,
+                       shard_size=spec.shard_size)
+    records = validated_records(store, plan)
+    if len(records) < len(plan) and not args.partial:
+        raise CampaignError(
+            f"campaign incomplete ({len(records)}/{len(plan)} shards "
+            f"done); resume it with `python -m repro campaign resume "
+            f"--dir {args.dir}` or pass --partial for a partial fold"
+        )
+    report = fold_report(records.values())
+    qualifier = "" if len(records) == len(plan) else " (PARTIAL)"
+    return _campaign_report_text(
+        report, as_json=args.json,
+        title=f"Campaign report{qualifier} — spec {spec.config_hash}",
+    )
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> str:
     return render_table(
         ["scenario", "description"],
@@ -306,6 +426,59 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="emit full artifact JSON instead of a table")
 
     sub.add_parser("scenarios", help="list the registered scenarios")
+
+    campaign_p = sub.add_parser(
+        "campaign",
+        help="sharded resumable fault-injection campaigns",
+    )
+    campaign_sub = campaign_p.add_subparsers(
+        dest="campaign_command", required=True, metavar="action"
+    )
+
+    def _campaign_common(p: argparse.ArgumentParser, *,
+                         execution: bool) -> None:
+        if execution:
+            p.add_argument("--workers", type=int, default=1,
+                           help="process-pool size for shards (default 1)")
+            p.add_argument("--max-shards", type=int, default=None,
+                           help="run at most N pending shards, then stop "
+                                "(checkpointed budget)")
+        p.add_argument("--json", action="store_true",
+                       help="emit JSON instead of a table")
+
+    crun = campaign_sub.add_parser(
+        "run", help="run a CampaignSpec (skips shards already in --dir)"
+    )
+    crun.add_argument("--spec", required=True,
+                      help="path to a CampaignSpec JSON file")
+    crun.add_argument("--dir", default=None,
+                      help="campaign store directory (enables "
+                           "checkpoint/resume; omit for in-memory)")
+    _campaign_common(crun, execution=True)
+
+    cresume = campaign_sub.add_parser(
+        "resume", help="continue a persisted campaign from its manifest"
+    )
+    cresume.add_argument("--dir", required=True,
+                         help="campaign store directory")
+    _campaign_common(cresume, execution=True)
+
+    cstatus = campaign_sub.add_parser(
+        "status", help="shard/injection progress of a campaign store"
+    )
+    cstatus.add_argument("--dir", required=True,
+                         help="campaign store directory")
+    _campaign_common(cstatus, execution=False)
+
+    creport = campaign_sub.add_parser(
+        "report", help="fold the persisted shards into the aggregate report"
+    )
+    creport.add_argument("--dir", required=True,
+                         help="campaign store directory")
+    creport.add_argument("--partial", action="store_true",
+                         help="allow folding an incomplete campaign")
+    _campaign_common(creport, execution=False)
+
     return parser
 
 
@@ -319,6 +492,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(_cmd_batch(args))
         elif args.command == "scenarios":
             print(_cmd_scenarios(args))
+        elif args.command == "campaign":
+            print(_cmd_campaign(args))
         elif args.command == "all":
             print("\n\n".join(
                 _COMMANDS[name](args) for name in sorted(_COMMANDS)

@@ -72,3 +72,12 @@ class FaultInjectionError(ReproError):
     Examples: injecting into a trace that does not contain the target SM,
     or classifying outcomes before the campaign ran.
     """
+
+
+class CampaignError(ReproError):
+    """Sharded campaign orchestration failed or was asked the impossible.
+
+    Examples: resuming a store created by a different :class:`CampaignSpec`,
+    a corrupt shard artifact whose digest does not match its payload, or
+    requesting an aggregate report before every shard has completed.
+    """

@@ -17,9 +17,11 @@ SRRS and HALF do not.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import FaultInjectionError, SafetyViolation
 from repro.faults.injector import CorruptionMap, apply_fault
@@ -34,7 +36,32 @@ from repro.iso26262.metrics import HardwareMetrics, coverage_from_campaign
 from repro.redundancy.comparison import build_signature, compare_signatures
 from repro.redundancy.manager import RedundantRunResult
 
-__all__ = ["CampaignConfig", "CampaignReport", "FaultCampaign"]
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "FaultCampaign",
+    "SDC_SAMPLE_LIMIT",
+    "fault_substream",
+]
+
+#: How many SDC fault labels a report retains as diagnostic examples when
+#: it aggregates counts instead of full records (see
+#: :meth:`CampaignReport.merge_counts`).
+SDC_SAMPLE_LIMIT = 5
+
+
+def fault_substream(seed: int, index: int) -> random.Random:
+    """PRNG substream of fault ``index`` within a campaign's seed schedule.
+
+    The campaign's randomness is an *indexed* stream: fault ``index`` draws
+    from a PRNG seeded with ``SHA-256(seed, index)``, so any contiguous
+    shard of the index space can regenerate exactly its own faults without
+    consuming (or even knowing about) the draws of other shards.  This is
+    what makes the sharded campaign population independent of the shard
+    count — see ``docs/CAMPAIGNS.md``.
+    """
+    digest = hashlib.sha256(f"{seed}:{index}".encode("ascii")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
 
 
 @dataclass(frozen=True)
@@ -65,20 +92,37 @@ class CampaignConfig:
         if self.phase_quantum <= 0:
             raise FaultInjectionError("phase quantum must be positive")
 
+    @property
+    def total_injections(self) -> int:
+        """Campaign size: the number of faults the plan injects."""
+        return self.transient_ccf + self.permanent_sm + self.seu
+
 
 @dataclass
 class CampaignReport:
     """Aggregated campaign outcome.
 
+    A report accumulates through two complementary channels:
+
+    * :meth:`record` appends full :class:`InjectionResult` records (the
+      classic in-memory campaign path);
+    * :meth:`merge_counts` folds in pre-aggregated outcome counts (the
+      sharded campaign path — see :mod:`repro.campaigns` — which never
+      materialises the per-injection records of a whole campaign).
+
     Attributes:
         policy: scheduler label of the underlying run.
-        injections: per-injection records.
+        injections: per-injection records (empty for counts-only reports).
         by_kind: ``fault-kind -> outcome -> count`` breakdown.
+        sdc_samples: up to :data:`SDC_SAMPLE_LIMIT` fault labels of silent
+            corruptions, kept as diagnostic examples even when the full
+            records are not.
     """
 
     policy: str
     injections: List[InjectionResult] = field(default_factory=list)
     by_kind: Dict[str, Dict[FaultOutcome, int]] = field(default_factory=dict)
+    sdc_samples: List[str] = field(default_factory=list)
     # incremental outcome tally: ``injections`` is append-only, so counts
     # fold in lazily up to ``_counted_upto`` instead of rescanning the
     # whole campaign on every ``masked``/``detected``/``sdc`` access
@@ -86,6 +130,11 @@ class CampaignReport:
         default_factory=dict, init=False, repr=False, compare=False
     )
     _counted_upto: int = field(default=0, init=False, repr=False, compare=False)
+    # counts folded in via merge_counts (no per-injection records behind them)
+    _merged_counts: Dict[FaultOutcome, int] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _merged_total: int = field(default=0, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     def record(self, result: InjectionResult, fault_kind: str) -> None:
@@ -93,6 +142,45 @@ class CampaignReport:
         self.injections.append(result)
         bucket = self.by_kind.setdefault(fault_kind, {})
         bucket[result.outcome] = bucket.get(result.outcome, 0) + 1
+        if (result.outcome is FaultOutcome.SDC
+                and len(self.sdc_samples) < SDC_SAMPLE_LIMIT):
+            self.sdc_samples.append(result.fault_label)
+
+    def merge_counts(self, by_kind: Mapping[str, Mapping[FaultOutcome, int]],
+                     *, sdc_samples: Iterable[str] = ()) -> None:
+        """Fold pre-aggregated outcome counts into the report.
+
+        This is the streaming-aggregation entry point of the sharded
+        campaign runner: each completed shard contributes only its
+        ``fault-kind -> outcome -> count`` table (plus a bounded sample of
+        SDC labels), so aggregating a multi-million-injection campaign
+        costs O(shards), not O(injections).
+
+        Args:
+            by_kind: outcome counts per fault kind (all counts >= 0).
+            sdc_samples: SDC fault labels; retained up to
+                :data:`SDC_SAMPLE_LIMIT` across the whole report.
+        """
+        # validate everything before mutating anything: a rejected merge
+        # must not leave the report holding a half-applied shard
+        for kind, outcomes in by_kind.items():
+            for outcome, count in outcomes.items():
+                if count < 0:
+                    raise FaultInjectionError(
+                        f"negative outcome count for {kind}/{outcome}"
+                    )
+        for kind, outcomes in by_kind.items():
+            bucket = self.by_kind.setdefault(kind, {})
+            for outcome, count in outcomes.items():
+                bucket[outcome] = bucket.get(outcome, 0) + count
+                self._merged_counts[outcome] = (
+                    self._merged_counts.get(outcome, 0) + count
+                )
+                self._merged_total += count
+        for label in sdc_samples:
+            if len(self.sdc_samples) >= SDC_SAMPLE_LIMIT:
+                break
+            self.sdc_samples.append(label)
 
     def _counts(self) -> Dict[FaultOutcome, int]:
         """Outcome tally, folding in any records appended since last use."""
@@ -106,12 +194,13 @@ class CampaignReport:
 
     def count(self, outcome: FaultOutcome) -> int:
         """Total injections with the given outcome (amortised O(1))."""
-        return self._counts().get(outcome, 0)
+        return (self._counts().get(outcome, 0)
+                + self._merged_counts.get(outcome, 0))
 
     @property
     def total(self) -> int:
-        """Campaign size."""
-        return len(self.injections)
+        """Campaign size (records plus merged counts)."""
+        return len(self.injections) + self._merged_total
 
     @property
     def masked(self) -> int:
@@ -135,7 +224,11 @@ class CampaignReport:
         return 1.0 if dangerous == 0 else self.detected / dangerous
 
     def sdc_injections(self) -> List[InjectionResult]:
-        """The silent-corruption records (useful for debugging policies)."""
+        """The silent-corruption records (useful for debugging policies).
+
+        Counts-only reports (built via :meth:`merge_counts`) have no
+        per-injection records; use :attr:`sdc_samples` for examples there.
+        """
         return [r for r in self.injections if r.outcome is FaultOutcome.SDC]
 
     def assert_no_sdc(self) -> None:
@@ -144,17 +237,43 @@ class CampaignReport:
         Raises:
             SafetyViolation: listing up to five offending injections.
         """
-        offenders = self.sdc_injections()
-        if offenders:
-            sample = "; ".join(r.fault_label for r in offenders[:5])
+        if self.sdc:
+            # record-built reports mirror their SDC labels into
+            # sdc_samples, so prefer the records and fall back to the
+            # samples only for counts-only reports (no duplicate listing)
+            labels = [r.fault_label for r in self.sdc_injections()]
+            if not labels:
+                labels = list(self.sdc_samples)
+            sample = "; ".join(labels[:SDC_SAMPLE_LIMIT])
             raise SafetyViolation(
-                f"{self.policy}: {len(offenders)} silent corruption(s) "
+                f"{self.policy}: {self.sdc} silent corruption(s) "
                 f"escaped the DCLS comparison, e.g. {sample}"
+            )
+
+    def _require_injections(self, what: str) -> None:
+        """Guard derived statistics against an empty report.
+
+        Raises:
+            FaultInjectionError: when no injection has been recorded or
+                merged — the derived quantity would silently divide by
+                zero (or fabricate a 100% coverage no campaign measured).
+        """
+        if self.total == 0:
+            raise FaultInjectionError(
+                f"empty campaign report for policy {self.policy!r}: "
+                f"{what} is undefined before any injection is recorded "
+                "(run the campaign, or check shard aggregation)"
             )
 
     def hardware_metrics(self, raw_failure_rate_per_hour: float = 1e-6
                          ) -> HardwareMetrics:
-        """Map campaign statistics onto ISO 26262 architectural metrics."""
+        """Map campaign statistics onto ISO 26262 architectural metrics.
+
+        Raises:
+            FaultInjectionError: on an empty report (the Monte-Carlo
+                coverage estimate is undefined without injections).
+        """
+        self._require_injections("hardware_metrics()")
         return coverage_from_campaign(
             total_injections=self.total,
             detected=self.detected,
@@ -164,12 +283,53 @@ class CampaignReport:
         )
 
     def summary(self) -> str:
-        """One-line campaign summary for reports."""
+        """One-line campaign summary for reports.
+
+        Raises:
+            FaultInjectionError: on an empty report.
+        """
+        self._require_injections("summary()")
         return (
             f"{self.policy}: n={self.total} masked={self.masked} "
             f"detected={self.detected} SDC={self.sdc} "
             f"coverage={self.detection_coverage:.4f}"
         )
+
+    # ------------------------------------------------------------------
+    # canonical plain-data form (bit-identity comparisons, CLI --json)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical plain-data form of the aggregate outcome.
+
+        Two campaigns over the same fault population produce *equal*
+        dictionaries regardless of shard boundaries, worker counts or
+        resume history — this is the object the sharded runner's
+        bit-identity guarantee is stated over (see ``docs/CAMPAIGNS.md``).
+        Per-injection records are deliberately excluded.
+        """
+        return {
+            "policy": self.policy,
+            "total": self.total,
+            "masked": self.masked,
+            "detected": self.detected,
+            "sdc": self.sdc,
+            "detection_coverage": self.detection_coverage,
+            "by_kind": {
+                kind: {
+                    outcome.name.lower(): count
+                    for outcome, count in sorted(
+                        outcomes.items(), key=lambda kv: kv[0].name
+                    )
+                }
+                for kind, outcomes in sorted(self.by_kind.items())
+            },
+            "sdc_samples": list(self.sdc_samples),
+        }
+
+    def digest(self) -> str:
+        """Hex digest of the canonical form (aggregate provenance key)."""
+        text = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
 class FaultCampaign:
@@ -193,6 +353,18 @@ class FaultCampaign:
             self._groups[logical] = tuple(
                 copies[c].instance_id for c in sorted(copies)
             )
+        # sampling-domain parameters, shared by the sequential and the
+        # indexed (shardable) samplers
+        self._makespan = self._trace.makespan
+        self._num_sms = self._trace.num_sms
+        self._work_hint = max(
+            (r.duration for r in self._trace.tb_records), default=1000.0
+        )
+
+    @property
+    def policy(self) -> str:
+        """Scheduler label of the underlying clean run."""
+        return self._run.sim.scheduler_name
 
     # ------------------------------------------------------------------
     def classify(self, fault: FaultDescriptor) -> InjectionResult:
@@ -231,13 +403,18 @@ class FaultCampaign:
 
     # ------------------------------------------------------------------
     def sample_faults(self, config: CampaignConfig) -> List[FaultDescriptor]:
-        """Draw the campaign's fault population (reproducibly)."""
+        """Draw the campaign's fault population (reproducibly).
+
+        This is the classic *sequential* sampler: one PRNG stream seeded
+        with ``config.seed`` drawn front to back.  It is kept bit-stable
+        for the paper-figure experiments; sharded campaigns use the
+        indexed sampler (:meth:`fault_at` / :meth:`sample_range`), whose
+        population is a different — equally distributed — draw.
+        """
         rng = random.Random(config.seed)
-        makespan = self._trace.makespan
-        num_sms = self._trace.num_sms
-        work_hint = max(
-            (r.duration for r in self._trace.tb_records), default=1000.0
-        )
+        makespan = self._makespan
+        num_sms = self._num_sms
+        work_hint = self._work_hint
         faults: List[FaultDescriptor] = []
         fid = 0
         for _ in range(config.transient_ccf):
@@ -270,6 +447,70 @@ class FaultCampaign:
             )
             fid += 1
         return faults
+
+    # ------------------------------------------------------------------
+    # indexed (shardable) sampling
+    # ------------------------------------------------------------------
+    def fault_at(self, config: CampaignConfig, index: int) -> FaultDescriptor:
+        """The ``index``-th fault of the campaign's *indexed* population.
+
+        The population is laid out deterministically by kind — indices
+        ``[0, transient_ccf)`` are transient CCFs, the next
+        ``permanent_sm`` are permanent SM defects, the remainder SEUs —
+        and fault ``index`` draws exclusively from its own PRNG substream
+        (:func:`fault_substream`).  The fault returned for a given
+        ``(config, index)`` therefore never depends on which other indices
+        have been (or will be) sampled, which is the determinism contract
+        sharded campaigns are built on.
+
+        Raises:
+            FaultInjectionError: when ``index`` is outside
+                ``[0, config.total_injections)``.
+        """
+        total = config.total_injections
+        if not 0 <= index < total:
+            raise FaultInjectionError(
+                f"fault index {index} outside campaign population "
+                f"[0, {total})"
+            )
+        rng = fault_substream(config.seed, index)
+        if index < config.transient_ccf:
+            return TransientCCF(
+                time=rng.uniform(0.0, self._makespan),
+                fault_id=index,
+                sms=None,
+                work_per_block=self._work_hint,
+                phase_quantum=config.phase_quantum,
+            )
+        if index < config.transient_ccf + config.permanent_sm:
+            return PermanentSMFault(
+                sm=rng.randrange(self._num_sms),
+                fault_id=index,
+                since=rng.uniform(0.0, self._makespan * 0.5),
+            )
+        return SEUFault(
+            sm=rng.randrange(self._num_sms),
+            time=rng.uniform(0.0, self._makespan),
+            fault_id=index,
+        )
+
+    def sample_range(self, config: CampaignConfig, start: int,
+                     stop: int) -> List[FaultDescriptor]:
+        """One contiguous shard ``[start, stop)`` of the indexed population.
+
+        ``sample_range(c, 0, c.total_injections)`` is the whole population;
+        any partition of ``[0, total)`` into contiguous ranges regenerates
+        exactly the same faults shard by shard.
+
+        Raises:
+            FaultInjectionError: on an invalid or out-of-bounds range.
+        """
+        if start < 0 or stop > config.total_injections or start > stop:
+            raise FaultInjectionError(
+                f"invalid fault range [{start}, {stop}) for a campaign of "
+                f"{config.total_injections} injections"
+            )
+        return [self.fault_at(config, index) for index in range(start, stop)]
 
     def run(self, config: Optional[CampaignConfig] = None,
             faults: Optional[Sequence[FaultDescriptor]] = None

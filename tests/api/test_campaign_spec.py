@@ -1,0 +1,96 @@
+"""Tests for the declarative CampaignSpec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import CampaignSpec, FaultPlanSpec, RunSpec, WorkloadSpec
+from repro.errors import ConfigurationError
+
+
+def _run(policy: str = "srrs", **kwargs) -> RunSpec:
+    return RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                   policy=policy, **kwargs)
+
+
+class TestCampaignSpec:
+    def test_defaults(self):
+        spec = CampaignSpec(run=_run())
+        assert spec.total_injections == 350  # FaultPlanSpec defaults
+        assert spec.shards is None and spec.shard_size is None
+        assert spec.label == "hotspot"
+
+    def test_json_round_trip(self):
+        spec = CampaignSpec(
+            run=_run(),
+            faults=FaultPlanSpec(transient_ccf=10, permanent_sm=5, seu=5,
+                                 seed=3),
+            shards=4,
+        )
+        assert CampaignSpec.from_json(spec.to_json()) == spec
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_config_hash_tracks_content(self):
+        a = CampaignSpec(run=_run(), shards=4)
+        b = CampaignSpec(run=_run(), shards=8)
+        assert a.config_hash != b.config_hash
+        assert a.config_hash == CampaignSpec(run=_run(), shards=4).config_hash
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown field"):
+            CampaignSpec.from_dict({"run": _run().to_dict(), "bogus": 1})
+
+    def test_from_dict_requires_run(self):
+        with pytest.raises(ConfigurationError, match="requires a run"):
+            CampaignSpec.from_dict({"shards": 2})
+
+    def test_from_json_rejects_bad_json(self):
+        with pytest.raises(ConfigurationError, match="invalid CampaignSpec"):
+            CampaignSpec.from_json("{nope")
+
+    def test_requires_redundant_simulated_run(self):
+        with pytest.raises(ConfigurationError, match="redundant"):
+            CampaignSpec(run=_run(redundancy="none"))
+        with pytest.raises(ConfigurationError, match="simulate"):
+            CampaignSpec(
+                run=RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                            simulate=False)
+            )
+
+    def test_rejects_inline_fault_plan_on_run(self):
+        with pytest.raises(ConfigurationError, match="owns the fault plan"):
+            CampaignSpec(run=_run(faults=FaultPlanSpec()))
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            CampaignSpec(
+                run=_run(),
+                faults=FaultPlanSpec(transient_ccf=0, permanent_sm=0, seu=0),
+            )
+
+    def test_rejects_conflicting_sharding(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            CampaignSpec(run=_run(), shards=2, shard_size=10)
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(run=_run(), shards=0)
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(run=_run(), shard_size=0)
+
+    def test_run_seed_override_is_honoured(self):
+        """RunSpec.seed overrides the plan seed, mirroring Engine."""
+        from repro.campaigns import run_campaign
+
+        plan = FaultPlanSpec(transient_ccf=30, permanent_sm=10, seu=10,
+                             seed=1)
+        overridden = run_campaign(
+            CampaignSpec(run=_run(seed=99), faults=plan, shards=2)
+        )
+        explicit = run_campaign(
+            CampaignSpec(
+                run=_run(),
+                faults=FaultPlanSpec(transient_ccf=30, permanent_sm=10,
+                                     seu=10, seed=99),
+                shards=2,
+            )
+        )
+        assert overridden.to_dict() == explicit.to_dict()

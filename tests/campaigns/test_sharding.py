@@ -1,0 +1,49 @@
+"""Tests for the deterministic shard planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaigns.sharding import DEFAULT_SHARDS, plan_shards
+from repro.errors import CampaignError
+
+
+class TestPlanShards:
+    def test_covers_index_space_exactly(self):
+        plan = plan_shards(1000, shards=7)
+        assert plan[0].start == 0
+        assert plan[-1].stop == 1000
+        for previous, shard in zip(plan, plan[1:]):
+            assert shard.start == previous.stop
+        assert sum(s.size for s in plan) == 1000
+
+    def test_near_equal_sizes(self):
+        plan = plan_shards(10, shards=3)
+        assert [s.size for s in plan] == [4, 3, 3]
+
+    def test_shard_size_derives_count(self):
+        plan = plan_shards(100, shard_size=32)
+        assert len(plan) == 4
+        assert sum(s.size for s in plan) == 100
+
+    def test_default_shard_count(self):
+        assert len(plan_shards(10_000)) == DEFAULT_SHARDS
+
+    def test_small_campaign_clamps(self):
+        plan = plan_shards(3, shards=8)
+        assert len(plan) == 3
+        assert all(s.size == 1 for s in plan)
+        assert len(plan_shards(2)) == 2  # default also clamps
+
+    def test_plan_is_deterministic(self):
+        assert plan_shards(12345, shards=11) == plan_shards(12345, shards=11)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(CampaignError):
+            plan_shards(0)
+        with pytest.raises(CampaignError):
+            plan_shards(10, shards=2, shard_size=5)
+        with pytest.raises(CampaignError):
+            plan_shards(10, shards=0)
+        with pytest.raises(CampaignError):
+            plan_shards(10, shard_size=0)

@@ -1,0 +1,130 @@
+"""Tests for the JSONL shard-artifact store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import CampaignSpec, FaultPlanSpec, RunSpec, WorkloadSpec
+from repro.campaigns.store import CampaignStore, ShardRecord
+from repro.errors import CampaignError
+
+
+def _spec(seed: int = 7, shards: int = 4) -> CampaignSpec:
+    return CampaignSpec(
+        run=RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                    policy="srrs"),
+        faults=FaultPlanSpec(transient_ccf=60, permanent_sm=20, seu=20,
+                             seed=seed),
+        shards=shards,
+    )
+
+
+def _record(shard: int = 0, start: int = 0, stop: int = 25) -> ShardRecord:
+    return ShardRecord(
+        shard=shard, start=start, stop=stop, policy="srrs",
+        counts={"TransientCCF": {"detected": stop - start}},
+        sdc_samples=(),
+    )
+
+
+class TestShardRecord:
+    def test_round_trips_through_its_line(self):
+        record = _record()
+        recovered = ShardRecord.from_payload(json.loads(record.to_line()))
+        assert recovered == record
+        assert recovered.digest == record.digest
+
+    def test_injections_counts_all_buckets(self):
+        record = ShardRecord(
+            shard=1, start=10, stop=20, policy="srrs",
+            counts={"SEUFault": {"detected": 6, "masked": 3},
+                    "TransientCCF": {"sdc": 1}},
+        )
+        assert record.injections == 10
+        totals = record.outcome_totals()
+        assert sum(totals.values()) == 10
+
+    def test_digest_mismatch_rejected(self):
+        payload = json.loads(_record().to_line())
+        payload["counts"]["TransientCCF"]["detected"] += 1  # tamper
+        with pytest.raises(CampaignError, match="digest mismatch"):
+            ShardRecord.from_payload(payload)
+
+    def test_unknown_outcome_key_rejected(self):
+        payload = _record().payload()
+        payload["counts"] = {"SEUFault": {"exploded": 1}}
+        with pytest.raises(CampaignError, match="unknown outcome"):
+            ShardRecord.from_payload(payload)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(CampaignError, match="malformed"):
+            ShardRecord.from_payload({"shard": 0})
+
+
+class TestCampaignStore:
+    def test_initialise_and_reload_spec(self, tmp_path):
+        store = CampaignStore(tmp_path / "c")
+        assert not store.exists()
+        spec = _spec()
+        store.initialise(spec)
+        assert store.exists()
+        assert store.load_spec() == spec
+        store.initialise(spec)  # idempotent
+
+    def test_initialise_rejects_different_spec(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.initialise(_spec(seed=7))
+        with pytest.raises(CampaignError, match="fresh directory"):
+            store.initialise(_spec(seed=8))
+
+    def test_append_and_load_records(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.initialise(_spec())
+        store.append(_record(shard=0, start=0, stop=25))
+        store.append(_record(shard=2, start=50, stop=75))
+        records = store.load_records()
+        assert sorted(records) == [0, 2]
+        assert records[2].start == 50
+
+    def test_missing_files_are_empty_not_errors(self, tmp_path):
+        store = CampaignStore(tmp_path / "nowhere")
+        assert store.load_records() == {}
+        with pytest.raises(CampaignError, match="no campaign manifest"):
+            store.load_spec()
+
+    def test_torn_trailing_line_is_ignored(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(_record(shard=0))
+        with open(store.shards_path, "a") as handle:
+            handle.write('{"shard": 1, "start": 25, "trunc')  # killed writer
+        assert sorted(store.load_records()) == [0]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        with open(store.shards_path, "w") as handle:
+            handle.write("not json at all\n")
+            handle.write(_record(shard=0).to_line() + "\n")
+        with pytest.raises(CampaignError, match="corrupt shard line"):
+            store.load_records()
+
+    def test_duplicate_identical_shard_tolerated(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(_record(shard=0))
+        store.append(_record(shard=0))
+        assert sorted(store.load_records()) == [0]
+
+    def test_duplicate_conflicting_shard_rejected(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(_record(shard=0, stop=25))
+        store.append(_record(shard=0, stop=26))
+        with pytest.raises(CampaignError, match="recorded twice"):
+            store.load_records()
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.initialise(_spec())
+        store.manifest_path.write_text("{broken")
+        with pytest.raises(CampaignError, match="corrupt campaign manifest"):
+            store.load_spec()

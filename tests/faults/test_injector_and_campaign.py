@@ -177,6 +177,134 @@ class TestQueueInducedPhaseAlignment:
         assert report.sdc == 0
 
 
+class TestIndexedSampling:
+    """The shardable sampler: fault ``i`` is independent of every other."""
+
+    CONFIG = CampaignConfig(transient_ccf=40, permanent_sm=12, seu=8,
+                            seed=13)
+
+    def test_kind_layout_matches_counts(self, srrs_run):
+        campaign = FaultCampaign(srrs_run)
+        faults = campaign.sample_range(self.CONFIG, 0,
+                                       self.CONFIG.total_injections)
+        kinds = [type(f).__name__ for f in faults]
+        assert kinds[:40] == ["TransientCCF"] * 40
+        assert kinds[40:52] == ["PermanentSMFault"] * 12
+        assert kinds[52:] == ["SEUFault"] * 8
+
+    def test_fault_ids_equal_indices(self, srrs_run):
+        campaign = FaultCampaign(srrs_run)
+        faults = campaign.sample_range(self.CONFIG, 0,
+                                       self.CONFIG.total_injections)
+        assert [f.fault_id for f in faults] == list(range(60))
+
+    def test_any_partition_regenerates_the_population(self, srrs_run):
+        campaign = FaultCampaign(srrs_run)
+        whole = campaign.sample_range(self.CONFIG, 0, 60)
+        pieces = (campaign.sample_range(self.CONFIG, 0, 17)
+                  + campaign.sample_range(self.CONFIG, 17, 41)
+                  + campaign.sample_range(self.CONFIG, 41, 60))
+        assert pieces == whole
+
+    def test_fault_at_matches_range(self, srrs_run):
+        campaign = FaultCampaign(srrs_run)
+        assert campaign.fault_at(self.CONFIG, 43) == campaign.sample_range(
+            self.CONFIG, 43, 44
+        )[0]
+
+    def test_out_of_bounds_rejected(self, srrs_run):
+        campaign = FaultCampaign(srrs_run)
+        with pytest.raises(FaultInjectionError):
+            campaign.fault_at(self.CONFIG, 60)
+        with pytest.raises(FaultInjectionError):
+            campaign.fault_at(self.CONFIG, -1)
+        with pytest.raises(FaultInjectionError):
+            campaign.sample_range(self.CONFIG, 10, 61)
+
+    def test_draws_stay_in_domain(self, srrs_run):
+        campaign = FaultCampaign(srrs_run)
+        trace = srrs_run.sim.trace
+        for fault in campaign.sample_range(self.CONFIG, 0, 60):
+            if hasattr(fault, "time"):
+                assert 0.0 <= fault.time <= trace.makespan
+            if hasattr(fault, "sm"):
+                assert 0 <= fault.sm < trace.num_sms
+
+    def test_policy_property_matches_report(self, srrs_run):
+        campaign = FaultCampaign(srrs_run)
+        report = campaign.run(faults=campaign.sample_range(self.CONFIG, 0, 5))
+        assert campaign.policy == report.policy
+
+
+class TestEmptyReportGuards:
+    """Empty reports must raise, not divide by zero or claim coverage."""
+
+    def test_hardware_metrics_raises_on_empty(self):
+        from repro.faults.campaign import CampaignReport
+
+        report = CampaignReport(policy="srrs")
+        with pytest.raises(FaultInjectionError, match="empty campaign"):
+            report.hardware_metrics()
+
+    def test_summary_raises_on_empty(self):
+        from repro.faults.campaign import CampaignReport
+
+        report = CampaignReport(policy="srrs")
+        with pytest.raises(FaultInjectionError, match="empty campaign"):
+            report.summary()
+
+    def test_populated_report_still_works(self, srrs_run):
+        report = FaultCampaign(srrs_run).run(
+            CampaignConfig(transient_ccf=5, permanent_sm=2, seu=2, seed=1)
+        )
+        assert "coverage" in report.summary()
+        assert report.hardware_metrics().spfm == 1.0
+
+
+class TestMergeCounts:
+    """Counts-only aggregation (the sharded-campaign fold primitive)."""
+
+    def test_merge_equals_recording(self, srrs_run):
+        from repro.faults.campaign import CampaignReport
+
+        recorded = FaultCampaign(srrs_run).run(
+            CampaignConfig(transient_ccf=20, permanent_sm=5, seu=5, seed=2)
+        )
+        merged = CampaignReport(policy=recorded.policy)
+        merged.merge_counts(recorded.by_kind,
+                            sdc_samples=recorded.sdc_samples)
+        assert merged.to_dict() == recorded.to_dict()
+        assert merged.total == recorded.total
+        assert merged.injections == []  # no records materialised
+
+    def test_negative_counts_rejected(self):
+        from repro.faults.campaign import CampaignReport
+
+        report = CampaignReport(policy="srrs")
+        with pytest.raises(FaultInjectionError, match="negative"):
+            report.merge_counts({"SEUFault": {FaultOutcome.DETECTED: -1}})
+
+    def test_sdc_samples_bounded(self):
+        from repro.faults.campaign import SDC_SAMPLE_LIMIT, CampaignReport
+
+        report = CampaignReport(policy="default")
+        report.merge_counts(
+            {"TransientCCF": {FaultOutcome.SDC: 20}},
+            sdc_samples=[f"f{i}" for i in range(20)],
+        )
+        assert report.sdc == 20
+        assert report.sdc_samples == [f"f{i}" for i in range(SDC_SAMPLE_LIMIT)]
+
+    def test_assert_no_sdc_uses_samples(self):
+        from repro.faults.campaign import CampaignReport
+
+        report = CampaignReport(policy="default")
+        report.merge_counts({"TransientCCF": {FaultOutcome.SDC: 2}},
+                            sdc_samples=["ccf@1", "ccf@2"])
+        with pytest.raises(SafetyViolation, match="ccf@1"):
+            report.assert_no_sdc()
+
+
 class TestIncrementalOutcomeCounters:
     """CampaignReport tallies outcomes on append instead of rescanning."""
 

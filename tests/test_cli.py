@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -49,3 +51,74 @@ class TestCLI:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig2"])
+
+
+class TestCampaignCLI:
+    """The campaign run/resume/status/report front door."""
+
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        from repro.api import (
+            CampaignSpec,
+            FaultPlanSpec,
+            RunSpec,
+            WorkloadSpec,
+        )
+
+        spec = CampaignSpec(
+            run=RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                        policy="srrs"),
+            faults=FaultPlanSpec(transient_ccf=60, permanent_sm=20, seu=20,
+                                 seed=7),
+            shards=5,
+        )
+        path = tmp_path / "campaign.json"
+        path.write_text(spec.to_json(indent=2))
+        return path
+
+    def test_run_in_memory(self, capsys, spec_file):
+        assert main(["campaign", "run", "--spec", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign report" in out
+        assert "srrs" in out
+
+    def test_run_resume_status_report_cycle(self, capsys, tmp_path,
+                                            spec_file):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", "--spec", str(spec_file),
+                     "--dir", store, "--max-shards", "2"]) == 0
+        assert "Campaign status" in capsys.readouterr().out
+
+        assert main(["campaign", "status", "--dir", store, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["completed_shards"] == 2
+        assert status["complete"] is False
+
+        # report refuses a partial campaign without --partial
+        assert main(["campaign", "report", "--dir", store]) == 1
+        assert "incomplete" in capsys.readouterr().err
+        assert main(["campaign", "report", "--dir", store,
+                     "--partial"]) == 0
+        assert "PARTIAL" in capsys.readouterr().out
+
+        assert main(["campaign", "resume", "--dir", store,
+                     "--workers", "2"]) == 0
+        assert "Campaign report" in capsys.readouterr().out
+
+        assert main(["campaign", "report", "--dir", store, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["total"] == 100
+        assert report["detected"] + report["masked"] + report["sdc"] == 100
+
+    def test_status_of_missing_store_fails_cleanly(self, capsys, tmp_path):
+        assert main(["campaign", "status", "--dir",
+                     str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_requires_spec(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run"])
+
+    def test_campaign_requires_action(self):
+        with pytest.raises(SystemExit):
+            main(["campaign"])
