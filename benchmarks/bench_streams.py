@@ -1,0 +1,171 @@
+"""Benchmarks of the streaming workload subsystem.
+
+Exercises the acceptance scenario of :mod:`repro.streams`: a soak run of
+at least 100k frames completes with O(1) memory (the report is
+structurally free of per-frame records), records its frame throughput,
+and is bit-identical — same ``StreamReport.digest()`` — across two
+different worker/chunk configurations.  A second scenario sweeps the
+arrival rate across the saturation knee (frames/sec vs arrival rate).
+
+The ``stream/*`` scenarios emit ``BENCH_streams.json`` at the repository
+root (wall seconds, frames/sec, the operating curve, and the digests
+proving determinism) so CI can track stream-engine throughput across
+PRs.  They run meaningfully under every pytest-benchmark mode, including
+``--benchmark-disable``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict
+
+from repro.analysis.streams import arrival_rate_sweep
+from repro.api import (
+    ArrivalSpec,
+    RunSpec,
+    StreamFaultSpec,
+    StreamSpec,
+    WorkloadSpec,
+)
+from repro.streams import run_stream
+
+_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_streams.json"
+_RECORDS: Dict[str, Dict[str, object]] = {}
+
+
+def _record(scenario: str, **metrics: object) -> None:
+    """Merge one scenario's metrics into the JSON artifact (see
+    ``bench_simulator_performance._record`` for the merge rationale)."""
+    _RECORDS[scenario] = metrics
+    scenarios: Dict[str, Dict[str, object]] = {}
+    try:
+        scenarios = json.loads(_BENCH_JSON.read_text()).get("scenarios", {})
+    except (OSError, ValueError):
+        pass  # absent or unreadable artifact: start fresh
+    scenarios.update(_RECORDS)
+    payload = {
+        "schema": "bench-streams/v1",
+        "generated_by": "benchmarks/bench_streams.py",
+        "scenarios": scenarios,
+    }
+    _BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _soak_spec(frames: int) -> StreamSpec:
+    # two distinct jobs in the mix so workers=2 really exercises the
+    # pooled job-resolution path, not just the chunking knob
+    return StreamSpec(
+        run=RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                    policy="srrs", tag="soak"),
+        arrival=ArrivalSpec(model="jittered", period_ms=0.4, jitter_ms=0.05),
+        frames=frames,
+        queue_depth=8,
+        deadline_ms=2.0,
+        faults=StreamFaultSpec(probability=0.01),
+        workload_mix=(WorkloadSpec(benchmark="hotspot"),
+                      WorkloadSpec(synthetic="short")),
+    )
+
+
+def _assert_no_per_frame_records(payload: object, frames: int,
+                                 path: str = "report") -> None:
+    """Recursively assert the report holds no frame-sized containers."""
+    if isinstance(payload, dict):
+        assert len(payload) < frames, f"{path} has {len(payload)} entries"
+        for key, value in payload.items():
+            _assert_no_per_frame_records(value, frames, f"{path}.{key}")
+    elif isinstance(payload, (list, tuple)):
+        assert len(payload) < min(frames, 100), (
+            f"{path} holds {len(payload)} items — per-frame records?"
+        )
+        for i, value in enumerate(payload):
+            _assert_no_per_frame_records(value, frames, f"{path}[{i}]")
+
+
+def test_stream_soak_100k_bit_identity(benchmark):
+    """BENCH scenario ``stream/soak_100k``: 100k jittered frames with a
+    1% fault overlay, run at two different worker/chunk configurations —
+    the report digests must match and the report must stay O(1)-sized.
+    """
+    frames = 100_000
+    spec = _soak_spec(frames)
+
+    def run():
+        t0 = time.perf_counter()
+        baseline = run_stream(spec, workers=1, chunk_frames=65536)
+        baseline_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        alternate = run_stream(spec, workers=2, chunk_frames=1009)
+        alternate_s = time.perf_counter() - t0
+
+        assert baseline.digest() == alternate.digest()
+        assert baseline.to_dict() == alternate.to_dict()
+        _assert_no_per_frame_records(baseline.to_dict(), frames)
+
+        _record(
+            "stream/soak_100k",
+            frames=frames,
+            fault_probability=0.01,
+            wall_s=round(baseline_s, 3),
+            alternate_wall_s=round(alternate_s, 3),
+            frames_per_sec=round(frames / baseline_s, 1),
+            completed=baseline.completed,
+            dropped=baseline.dropped,
+            deadline_misses=baseline.deadline_misses,
+            sdc=baseline.faults_sdc,
+            digest=baseline.digest(),
+            bit_identical=True,
+        )
+        return baseline
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.frames == frames
+    assert report.completed + report.dropped == frames
+    assert report.faults_sdc == 0  # SRRS detects everything (paper claim)
+
+
+def test_stream_arrival_rate_sweep(benchmark):
+    """BENCH scenario ``stream/rate_sweep``: throughput and miss/drop
+    rates across the saturation knee (service time ~0.206 ms).
+    """
+    spec = StreamSpec(
+        run=RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                    policy="srrs", tag="rate-sweep"),
+        frames=20_000,
+        queue_depth=4,
+        deadline_ms=1.0,
+    )
+    periods = [1.0, 0.5, 0.3, 0.22, 0.18, 0.12]
+
+    def run():
+        t0 = time.perf_counter()
+        rows = arrival_rate_sweep(spec, periods)
+        wall = time.perf_counter() - t0
+        for row in rows:
+            _record(
+                f"stream/rate_sweep_p{row.period_ms:g}ms",
+                period_ms=row.period_ms,
+                arrival_hz=round(row.arrival_hz, 1),
+                frames=row.frames,
+                throughput_fps=round(row.throughput_fps, 1),
+                utilisation=round(row.utilisation, 4),
+                miss_rate=round(row.miss_rate, 4),
+                drop_rate=round(row.drop_rate, 4),
+                p_tail_ms=round(row.p_tail_ms, 4),
+                digest=row.digest,
+            )
+        _record("stream/rate_sweep",
+                points=len(rows), frames_per_point=spec.frames,
+                wall_s=round(wall, 3))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # under-loaded points never drop; past saturation the queue spills
+    assert rows[0].dropped == 0
+    assert rows[-1].dropped > 0
+    # utilisation grows monotonically toward saturation
+    utils = [row.utilisation for row in rows]
+    assert utils == sorted(utils)

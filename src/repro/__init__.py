@@ -15,6 +15,9 @@ Top-level packages:
 * :mod:`repro.campaigns` — sharded, resumable fault-injection campaign
   orchestration (process-pool shards, JSONL checkpoint store, streaming
   aggregate fold);
+* :mod:`repro.streams` — continuous ADAS frame traffic: open-loop
+  arrival models, bounded-queue backpressure, per-frame deadline/FTTI
+  accounting and online O(1)-memory latency analytics;
 * :mod:`repro.gpu` — GPU model, discrete-event timing simulator, kernel
   schedulers (default / SRRS / HALF), COTS end-to-end model;
 * :mod:`repro.redundancy` — redundant execution manager, output
@@ -64,6 +67,7 @@ from repro.errors import (
     SafetyViolation,
     SchedulingError,
     SimulationError,
+    StreamError,
 )
 from repro.gpu import (
     ExecutionTrace,
@@ -91,11 +95,12 @@ from repro.redundancy import (
 )
 from repro.workloads import classify_kernel, get_benchmark
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 # the api and campaigns packages import repro.__version__ lazily at run
 # time, so these imports must stay below the version assignment
 from repro.api import (
+    ArrivalSpec,
     CampaignSpec,
     Engine,
     FaultPlanSpec,
@@ -103,6 +108,8 @@ from repro.api import (
     KernelSpec,
     RunArtifact,
     RunSpec,
+    StreamFaultSpec,
+    StreamSpec,
     WorkloadSpec,
     build_scenario,
     register_scenario,
@@ -116,6 +123,7 @@ from repro.campaigns import (
     resume_campaign,
     run_campaign,
 )
+from repro.streams import StreamReport, run_stream
 
 __all__ = [
     "__version__",
@@ -128,6 +136,7 @@ __all__ = [
     "RedundancyError",
     "SafetyViolation",
     "FaultInjectionError",
+    "StreamError",
     # gpu
     "GPUConfig",
     "SMConfig",
@@ -173,4 +182,10 @@ __all__ = [
     "run_campaign",
     "resume_campaign",
     "campaign_status",
+    # streams
+    "StreamSpec",
+    "ArrivalSpec",
+    "StreamFaultSpec",
+    "StreamReport",
+    "run_stream",
 ]

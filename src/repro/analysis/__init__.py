@@ -18,6 +18,11 @@ from repro.analysis.campaigns import (
     CampaignScalingRow,
     campaign_worker_scaling,
 )
+from repro.analysis.streams import (
+    StreamRateRow,
+    arrival_rate_sweep,
+    stream_summary_rows,
+)
 from repro.analysis.bounds import (
     half_chain_bound,
     isolated_kernel_bound,
@@ -40,6 +45,9 @@ __all__ = [
     "sm_count_sweep",
     "CampaignScalingRow",
     "campaign_worker_scaling",
+    "StreamRateRow",
+    "arrival_rate_sweep",
+    "stream_summary_rows",
     "render_table",
     "render_bars",
     "render_grouped_bars",

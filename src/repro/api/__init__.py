@@ -13,7 +13,10 @@ in four parts:
   builders covering every paper figure and extension experiment;
 * :mod:`repro.api.campaign` — :class:`CampaignSpec`, the declarative
   description of a sharded resumable fault-injection campaign executed by
-  :mod:`repro.campaigns`.
+  :mod:`repro.campaigns`;
+* :mod:`repro.api.stream` — :class:`StreamSpec`, the declarative
+  description of a continuous open-loop frame stream executed by
+  :mod:`repro.streams`.
 
 Quickstart::
 
@@ -54,6 +57,7 @@ from repro.api.spec import (
     SMSpec,
     WorkloadSpec,
 )
+from repro.api.stream import ArrivalSpec, StreamFaultSpec, StreamSpec
 
 __all__ = [
     # specs
@@ -65,6 +69,9 @@ __all__ = [
     "FaultPlanSpec",
     "CotsSpec",
     "CampaignSpec",
+    "StreamSpec",
+    "ArrivalSpec",
+    "StreamFaultSpec",
     # artifacts
     "RunArtifact",
     "TimingSummary",

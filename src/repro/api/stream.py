@@ -1,0 +1,375 @@
+"""Declarative stream specifications — the input of :mod:`repro.streams`.
+
+A :class:`StreamSpec` describes an *open-loop* stream of frame jobs: the
+per-frame job template (a :class:`~repro.api.spec.RunSpec` — workload,
+GPU, policy, redundancy degree), the arrival process
+(:class:`ArrivalSpec` — periodic, jittered or Poisson), the queueing
+discipline (bounded FIFO with drop-on-full backpressure), the per-frame
+deadline budget and an optional per-frame fault overlay
+(:class:`StreamFaultSpec`).  Like every spec in :mod:`repro.api` it is a
+frozen dataclass of plain values: hashable, picklable and
+JSON-round-trippable, with a :attr:`StreamSpec.config_hash` digest of the
+canonical JSON form as provenance.
+
+Example::
+
+    from repro.api import ArrivalSpec, RunSpec, StreamSpec, WorkloadSpec
+
+    spec = StreamSpec(
+        run=RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                    policy="srrs"),
+        arrival=ArrivalSpec(model="jittered", period_ms=33.3,
+                            jitter_ms=3.0),
+        frames=100_000,
+        deadline_ms=100.0,
+    )
+    assert StreamSpec.from_json(spec.to_json()) == spec
+
+:meth:`StreamSpec.for_task` builds the spec of one ADAS task from
+:data:`repro.workloads.adas.ADAS_TASKS`: the task's kernel chain becomes
+the workload, its activation period the arrival period and its FTTI the
+per-frame deadline budget.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.api.spec import (
+    KernelSpec,
+    RunSpec,
+    WorkloadSpec,
+    _check_keys,
+    _flat_from_dict,
+    _flat_to_dict,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["ArrivalSpec", "StreamFaultSpec", "StreamSpec", "ARRIVAL_MODELS"]
+
+#: Arrival-model names accepted by :class:`ArrivalSpec`.
+ARRIVAL_MODELS: Tuple[str, ...] = ("periodic", "jittered", "poisson")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """The open-loop arrival process of a frame stream.
+
+    Attributes:
+        model: ``"periodic"`` (frame *i* arrives at ``i * period_ms``),
+            ``"jittered"`` (periodic plus an independent uniform offset in
+            ``[-jitter_ms, +jitter_ms]`` per frame) or ``"poisson"``
+            (exponential inter-arrival times with mean ``period_ms``).
+        period_ms: activation period — the mean inter-arrival time.
+        jitter_ms: per-frame uniform jitter half-width (``"jittered"``
+            only); must stay below ``period_ms / 2`` so arrival times
+            remain non-decreasing.
+    """
+
+    model: str = "periodic"
+    period_ms: float = 33.3
+    jitter_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.model not in ARRIVAL_MODELS:
+            raise ConfigurationError(
+                f"unknown arrival model {self.model!r}; "
+                f"known: {', '.join(ARRIVAL_MODELS)}"
+            )
+        if self.period_ms <= 0:
+            raise ConfigurationError("arrival period must be positive")
+        if self.jitter_ms < 0:
+            raise ConfigurationError("arrival jitter cannot be negative")
+        if self.model != "jittered" and self.jitter_ms:
+            raise ConfigurationError(
+                f"jitter_ms only applies to the 'jittered' model, "
+                f"not {self.model!r}"
+            )
+        if self.model == "jittered" and self.jitter_ms > self.period_ms / 2:
+            raise ConfigurationError(
+                "jitter_ms must not exceed half the period (arrival times "
+                "must stay non-decreasing)"
+            )
+
+    @property
+    def rate_hz(self) -> float:
+        """Mean arrival rate in frames per second."""
+        return 1000.0 / self.period_ms
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArrivalSpec":
+        """Build the spec from a mapping; raises on unknown fields."""
+        return _flat_from_dict(cls, data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-compatible)."""
+        return _flat_to_dict(self)
+
+
+@dataclass(frozen=True)
+class StreamFaultSpec:
+    """Per-frame fault overlay of a stream (memoryless sampling).
+
+    Every frame independently suffers one injected hardware fault with
+    probability ``probability``, drawn from the frame's own PRNG
+    substream (so the overlay is independent of worker/chunk
+    configuration).  The fault kind is chosen by the three weights,
+    mirroring the population mix of
+    :class:`~repro.faults.campaign.CampaignConfig`.  Detected errors
+    trigger a full redundant re-execution of the frame — surfacing as
+    added latency and possibly a deadline miss — while silent corruptions
+    are counted as delivered-but-wrong frames.
+
+    Attributes:
+        probability: per-frame injection probability in ``[0, 1]``.
+        transient_ccf: relative weight of chip-wide transient CCFs.
+        permanent_sm: relative weight of (frame-local) permanent SM
+            defects.
+        seu: relative weight of local single-event upsets.
+        phase_quantum: transient-CCF alignment quantum in work units.
+    """
+
+    probability: float = 0.0
+    transient_ccf: int = 2
+    permanent_sm: int = 1
+    seu: int = 1
+    phase_quantum: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                "fault probability must lie in [0, 1]"
+            )
+        if min(self.transient_ccf, self.permanent_sm, self.seu) < 0:
+            raise ConfigurationError("fault-kind weights cannot be negative")
+        if self.transient_ccf + self.permanent_sm + self.seu == 0:
+            raise ConfigurationError(
+                "at least one fault-kind weight must be positive"
+            )
+        if self.phase_quantum <= 0:
+            raise ConfigurationError("phase quantum must be positive")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StreamFaultSpec":
+        """Build the spec from a mapping; raises on unknown fields."""
+        return _flat_from_dict(cls, data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-compatible)."""
+        return _flat_to_dict(self)
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One declarative open-loop frame stream.
+
+    Attributes:
+        run: the per-frame job template — workload, GPU, policy and
+            redundancy degree.  Must simulate (``simulate=True``), must
+            be redundant (``effective_copies >= 2``) and must not carry
+            an inline fault plan (the stream owns its fault overlay).
+        arrival: the arrival process (see :class:`ArrivalSpec`).
+        frames: number of frames the stream generates.
+        queue_depth: maximum frames *waiting* behind the one in service;
+            an arrival that finds the queue full is dropped
+            (backpressure).
+        deadline_ms: per-frame latency budget (arrival to completion);
+            ``None`` defaults to the arrival period.  For ADAS tasks this
+            is the FTTI budget — see :meth:`for_task`.
+        faults: optional per-frame fault overlay (see
+            :class:`StreamFaultSpec`).
+        workload_mix: optional rotation of workloads — frame ``i``
+            executes ``workload_mix[i % len(workload_mix)]`` instead of
+            ``run.workload`` (which still fixes GPU/policy/redundancy).
+        quantiles: latency quantiles the online analytics estimate;
+            strictly increasing values in ``(0, 1)``.
+        window_ms: tumbling-window length of the throughput/utilisation
+            analytics; ``None`` defaults to 50 arrival periods.
+        seed: master PRNG seed of the stream's substreams (jitter,
+            Poisson gaps, fault overlay).
+        tag: free-form label carried into the report.
+    """
+
+    run: RunSpec
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    frames: int = 1000
+    queue_depth: int = 4
+    deadline_ms: Optional[float] = None
+    faults: Optional[StreamFaultSpec] = None
+    workload_mix: Tuple[WorkloadSpec, ...] = ()
+    quantiles: Tuple[float, ...] = (0.5, 0.9, 0.99)
+    window_ms: Optional[float] = None
+    seed: int = 2019
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.run.simulate:
+            raise ConfigurationError(
+                "a stream needs a simulated run (simulate=True) — frame "
+                "service times come from the virtual-time simulator"
+            )
+        if self.run.effective_copies < 2:
+            raise ConfigurationError(
+                "a stream executes frames redundantly (copies >= 2); "
+                f"got {self.run.effective_copies}"
+            )
+        if self.run.faults is not None:
+            raise ConfigurationError(
+                "the stream owns the fault overlay: set StreamSpec.faults, "
+                "not RunSpec.faults"
+            )
+        if self.frames < 1:
+            raise ConfigurationError("stream must generate at least one frame")
+        if self.queue_depth < 0:
+            raise ConfigurationError("queue depth cannot be negative")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ConfigurationError("deadline must be positive")
+        if self.window_ms is not None and self.window_ms <= 0:
+            raise ConfigurationError("analytics window must be positive")
+        object.__setattr__(self, "workload_mix", tuple(self.workload_mix))
+        object.__setattr__(self, "quantiles", tuple(self.quantiles))
+        if not self.quantiles:
+            raise ConfigurationError("at least one latency quantile required")
+        if any(not 0.0 < q < 1.0 for q in self.quantiles):
+            raise ConfigurationError("quantiles must lie strictly in (0, 1)")
+        if list(self.quantiles) != sorted(set(self.quantiles)):
+            raise ConfigurationError(
+                "quantiles must be strictly increasing"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_task(cls, task_name: str, *, frames: int = 1000,
+                 arrival_model: str = "periodic", jitter_ms: float = 0.0,
+                 **overrides: Any) -> "StreamSpec":
+        """Build the stream of one ADAS task from the built-in library.
+
+        The task's kernel chain becomes the workload, its activation
+        period the arrival period, its FTTI the per-frame deadline and
+        its recommended policy the run policy.
+
+        Args:
+            task_name: a name from
+                :data:`repro.workloads.adas.ADAS_TASKS` (e.g.
+                ``"camera-perception"``).
+            frames: number of frames to stream.
+            arrival_model: arrival model name (see :class:`ArrivalSpec`).
+            jitter_ms: jitter half-width for the ``"jittered"`` model.
+            **overrides: any further :class:`StreamSpec` fields.
+
+        Raises:
+            ConfigurationError: for unknown task names.
+        """
+        from repro.workloads.adas import ADAS_TASKS
+
+        by_name = {task.name: task for task in ADAS_TASKS}
+        task = by_name.get(task_name)
+        if task is None:
+            raise ConfigurationError(
+                f"unknown ADAS task {task_name!r}; "
+                f"known: {', '.join(sorted(by_name))}"
+            )
+        workload = WorkloadSpec(kernels=tuple(
+            KernelSpec.from_descriptor(kd) for kd in task.kernels
+        ))
+        run = RunSpec(workload=workload, policy=task.policy)
+        spec = cls(
+            run=run,
+            arrival=ArrivalSpec(model=arrival_model,
+                                period_ms=task.period_ms,
+                                jitter_ms=jitter_ms),
+            frames=frames,
+            deadline_ms=task.ftti.milliseconds,
+            tag=task.name,
+        )
+        return replace(spec, **overrides) if overrides else spec
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_deadline_ms(self) -> float:
+        """The per-frame latency budget actually enforced."""
+        if self.deadline_ms is not None:
+            return self.deadline_ms
+        return self.arrival.period_ms
+
+    @property
+    def effective_window_ms(self) -> float:
+        """The analytics window length actually used."""
+        if self.window_ms is not None:
+            return self.window_ms
+        return 50.0 * self.arrival.period_ms
+
+    @property
+    def label(self) -> str:
+        """Human-readable identity (tag or the underlying run's label)."""
+        return self.tag or self.run.label
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (nested dicts/lists, JSON-compatible)."""
+        return {
+            "run": self.run.to_dict(),
+            "arrival": self.arrival.to_dict(),
+            "frames": self.frames,
+            "queue_depth": self.queue_depth,
+            "deadline_ms": self.deadline_ms,
+            "faults": self.faults.to_dict() if self.faults is not None else None,
+            "workload_mix": [w.to_dict() for w in self.workload_mix],
+            "quantiles": list(self.quantiles),
+            "window_ms": self.window_ms,
+            "seed": self.seed,
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StreamSpec":
+        """Inverse of :meth:`to_dict`; raises on unknown fields."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"StreamSpec expects a mapping, got {data!r}"
+            )
+        _check_keys(cls, data)
+        if "run" not in data:
+            raise ConfigurationError("StreamSpec requires a run")
+        payload = dict(data)
+        payload["run"] = RunSpec.from_dict(payload["run"])
+        if payload.get("arrival") is not None:
+            payload["arrival"] = ArrivalSpec.from_dict(payload["arrival"])
+        else:
+            payload.pop("arrival", None)
+        if payload.get("faults") is not None:
+            payload["faults"] = StreamFaultSpec.from_dict(payload["faults"])
+        payload["workload_mix"] = tuple(
+            WorkloadSpec.from_dict(w)
+            for w in payload.get("workload_mix") or ()
+        )
+        if payload.get("quantiles") is not None:
+            payload["quantiles"] = tuple(payload["quantiles"])
+        else:
+            payload.pop("quantiles", None)
+        return cls(**payload)
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """Canonical JSON form (sorted keys, round-trips exactly)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StreamSpec":
+        """Parse a spec from its JSON form."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"invalid StreamSpec JSON: {exc}"
+            ) from None
+        return cls.from_dict(data)
+
+    @property
+    def config_hash(self) -> str:
+        """Hex digest of the canonical JSON form (provenance key)."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:16]

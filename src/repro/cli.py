@@ -28,8 +28,16 @@ Sharded resumable fault-injection campaigns (:mod:`repro.campaigns`)::
     python -m repro campaign status --dir out/c1
     python -m repro campaign report --dir out/c1 --json
 
+Continuous frame streams (:mod:`repro.streams`)::
+
+    python -m repro stream run --spec stream.json --json
+    python -m repro stream run --task camera-perception --frames 10000
+    python -m repro stream run --spec stream.json --out report.json
+    python -m repro stream report --report report.json
+
 Options: ``--sms N`` changes the GPU size for the simulated artifacts,
-``--benchmark NAME`` selects the workload for ``coverage``.
+``--benchmark NAME`` selects the workload for ``coverage``;
+``python -m repro --version`` prints the package version.
 """
 
 from __future__ import annotations
@@ -51,11 +59,13 @@ from repro.analysis.experiments import (
     sm_count_sweep,
 )
 from repro.analysis.report import render_table
+from repro.analysis.streams import stream_summary_rows
 from repro.api.artifact import RunArtifact
 from repro.api.campaign import CampaignSpec
 from repro.api.engine import Engine
 from repro.api.scenarios import get_scenario, scenario_names
 from repro.api.spec import RunSpec
+from repro.api.stream import StreamSpec
 from repro.campaigns import (
     CampaignStore,
     campaign_status,
@@ -68,6 +78,8 @@ from repro.errors import CampaignError, ConfigurationError, ReproError
 from repro.faults.campaign import CampaignReport
 from repro.gpu.config import GPUConfig
 from repro.iso26262.decomposition import FIGURE1_EXAMPLES
+from repro.streams.report import StreamReport
+from repro.streams.runner import run_stream
 
 __all__ = ["main"]
 
@@ -371,6 +383,67 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
     )
 
 
+# ----------------------------------------------------------------------
+# streams: stream run / report
+# ----------------------------------------------------------------------
+def _stream_report_text(report: StreamReport, *, as_json: bool) -> str:
+    if as_json:
+        return report.to_json(indent=2)
+    return render_table(
+        ["metric", "value"],
+        stream_summary_rows(report),
+        title=f"Stream report — {report.label} ({report.spec_hash})",
+    )
+
+
+def _cmd_stream(args: argparse.Namespace) -> str:
+    if args.stream_command == "run":
+        if bool(args.spec) == bool(args.task):
+            raise ConfigurationError(
+                "stream run needs exactly one of --spec FILE or --task NAME"
+            )
+        if args.spec:
+            try:
+                text = Path(args.spec).read_text()
+            except OSError as exc:
+                raise ConfigurationError(
+                    f"cannot read spec file {args.spec!r}: {exc}"
+                )
+            spec = StreamSpec.from_json(text)
+        else:
+            spec = StreamSpec.for_task(args.task)
+        if args.frames is not None:
+            if args.frames < 1:
+                raise ConfigurationError("--frames must be >= 1")
+            from dataclasses import replace
+
+            spec = replace(spec, frames=args.frames)
+        report = run_stream(spec, workers=args.workers)
+        if args.out:
+            try:
+                Path(args.out).write_text(report.to_json(indent=2) + "\n")
+            except OSError as exc:
+                raise ConfigurationError(
+                    f"cannot write report file {args.out!r}: {exc}"
+                )
+        return _stream_report_text(report, as_json=args.json)
+    # report: render a previously saved StreamReport JSON file
+    try:
+        text = Path(args.report).read_text()
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read report file {args.report!r}: {exc}"
+        )
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"{args.report!r} is not valid JSON: {exc}"
+        )
+    report = StreamReport.from_dict(data)
+    return _stream_report_text(report, as_json=args.json)
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> str:
     return render_table(
         ["scenario", "description"],
@@ -385,6 +458,12 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the paper's figures and extension "
                     "experiments (Alcaide et al., DATE 2019).",
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}",
+        help="print the package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True, metavar="command")
 
@@ -479,6 +558,39 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="allow folding an incomplete campaign")
     _campaign_common(creport, execution=False)
 
+    stream_p = sub.add_parser(
+        "stream",
+        help="continuous frame streams with online deadline analytics",
+    )
+    stream_sub = stream_p.add_subparsers(
+        dest="stream_command", required=True, metavar="action"
+    )
+
+    srun = stream_sub.add_parser(
+        "run", help="execute a StreamSpec (or a built-in ADAS task stream)"
+    )
+    srun.add_argument("--spec", default=None,
+                      help="path to a StreamSpec JSON file")
+    srun.add_argument("--task", default=None,
+                      help="built-in ADAS task name (e.g. camera-perception)")
+    srun.add_argument("--frames", type=int, default=None,
+                      help="override the spec's frame count")
+    srun.add_argument("--workers", type=int, default=1,
+                      help="process-pool size for distinct-job simulation "
+                           "(default 1; never changes the report)")
+    srun.add_argument("--out", default=None,
+                      help="also write the report JSON to this file")
+    srun.add_argument("--json", action="store_true",
+                      help="emit report JSON instead of a table")
+
+    sreport = stream_sub.add_parser(
+        "report", help="render a previously saved stream report"
+    )
+    sreport.add_argument("--report", required=True,
+                         help="path to a StreamReport JSON file")
+    sreport.add_argument("--json", action="store_true",
+                         help="emit report JSON instead of a table")
+
     return parser
 
 
@@ -494,6 +606,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(_cmd_scenarios(args))
         elif args.command == "campaign":
             print(_cmd_campaign(args))
+        elif args.command == "stream":
+            print(_cmd_stream(args))
         elif args.command == "all":
             print("\n\n".join(
                 _COMMANDS[name](args) for name in sorted(_COMMANDS)

@@ -81,3 +81,12 @@ class CampaignError(ReproError):
     a corrupt shard artifact whose digest does not match its payload, or
     requesting an aggregate report before every shard has completed.
     """
+
+
+class StreamError(ReproError):
+    """Stream execution or its online analytics were asked the impossible.
+
+    Examples: a stream whose workload resolves to no kernels (no frame job
+    to execute), reading a latency quantile before any frame completed, or
+    feeding the windowed-rate fold completions that go backwards in time.
+    """

@@ -402,6 +402,36 @@ class FaultCampaign:
         return classify_outcome(corruption, comparisons)
 
     # ------------------------------------------------------------------
+    def _build_fault(self, kind: str, rng: random.Random, fault_id: int,
+                     phase_quantum: float) -> FaultDescriptor:
+        """Construct one fault of ``kind`` over this campaign's domain.
+
+        The single source of truth for fault parameterisation: every
+        sampler (sequential, indexed, stream-overlay) draws through this
+        builder, so the per-kind draw order — and therefore every
+        population's bit-stability — can never diverge between them.
+        ``kind`` is ``"ccf"``, ``"perm"`` or ``"seu"``.
+        """
+        if kind == "ccf":
+            return TransientCCF(
+                time=rng.uniform(0.0, self._makespan),
+                fault_id=fault_id,
+                sms=None,
+                work_per_block=self._work_hint,
+                phase_quantum=phase_quantum,
+            )
+        if kind == "perm":
+            return PermanentSMFault(
+                sm=rng.randrange(self._num_sms),
+                fault_id=fault_id,
+                since=rng.uniform(0.0, self._makespan * 0.5),
+            )
+        return SEUFault(
+            sm=rng.randrange(self._num_sms),
+            time=rng.uniform(0.0, self._makespan),
+            fault_id=fault_id,
+        )
+
     def sample_faults(self, config: CampaignConfig) -> List[FaultDescriptor]:
         """Draw the campaign's fault population (reproducibly).
 
@@ -412,40 +442,16 @@ class FaultCampaign:
         population is a different — equally distributed — draw.
         """
         rng = random.Random(config.seed)
-        makespan = self._makespan
-        num_sms = self._num_sms
-        work_hint = self._work_hint
         faults: List[FaultDescriptor] = []
         fid = 0
-        for _ in range(config.transient_ccf):
-            faults.append(
-                TransientCCF(
-                    time=rng.uniform(0.0, makespan),
-                    fault_id=fid,
-                    sms=None,
-                    work_per_block=work_hint,
-                    phase_quantum=config.phase_quantum,
+        for kind, count in (("ccf", config.transient_ccf),
+                            ("perm", config.permanent_sm),
+                            ("seu", config.seu)):
+            for _ in range(count):
+                faults.append(
+                    self._build_fault(kind, rng, fid, config.phase_quantum)
                 )
-            )
-            fid += 1
-        for _ in range(config.permanent_sm):
-            faults.append(
-                PermanentSMFault(
-                    sm=rng.randrange(num_sms),
-                    fault_id=fid,
-                    since=rng.uniform(0.0, makespan * 0.5),
-                )
-            )
-            fid += 1
-        for _ in range(config.seu):
-            faults.append(
-                SEUFault(
-                    sm=rng.randrange(num_sms),
-                    time=rng.uniform(0.0, makespan),
-                    fault_id=fid,
-                )
-            )
-            fid += 1
+                fid += 1
         return faults
 
     # ------------------------------------------------------------------
@@ -475,24 +481,53 @@ class FaultCampaign:
             )
         rng = fault_substream(config.seed, index)
         if index < config.transient_ccf:
-            return TransientCCF(
-                time=rng.uniform(0.0, self._makespan),
-                fault_id=index,
-                sms=None,
-                work_per_block=self._work_hint,
-                phase_quantum=config.phase_quantum,
+            kind = "ccf"
+        elif index < config.transient_ccf + config.permanent_sm:
+            kind = "perm"
+        else:
+            kind = "seu"
+        return self._build_fault(kind, rng, index, config.phase_quantum)
+
+    def random_fault(self, rng: random.Random, *, transient_ccf: int = 1,
+                     permanent_sm: int = 1, seu: int = 1,
+                     phase_quantum: float = 1.0,
+                     fault_id: int = 0) -> FaultDescriptor:
+        """Draw one fault from an externally supplied PRNG.
+
+        This is the *overlay* hook used by :mod:`repro.streams`: callers
+        that manage their own substream schedule (e.g. one substream per
+        frame of a stream) draw faults over this campaign's sampling
+        domain — same kind weights and parameter distributions as the
+        indexed sampler (:meth:`fault_at`), but with the caller's ``rng``
+        and ``fault_id``.
+
+        Args:
+            rng: the PRNG to consume (the caller owns its seeding).
+            transient_ccf: relative weight of transient CCFs.
+            permanent_sm: relative weight of permanent SM defects.
+            seu: relative weight of SEUs.
+            phase_quantum: transient-CCF alignment quantum (work units).
+            fault_id: identifier stamped into the fault (labels stay
+                unique when the caller passes unique ids).
+
+        Raises:
+            FaultInjectionError: when no weight is positive.
+        """
+        if min(transient_ccf, permanent_sm, seu) < 0:
+            raise FaultInjectionError("fault-kind weights cannot be negative")
+        total = transient_ccf + permanent_sm + seu
+        if total == 0:
+            raise FaultInjectionError(
+                "at least one fault-kind weight must be positive"
             )
-        if index < config.transient_ccf + config.permanent_sm:
-            return PermanentSMFault(
-                sm=rng.randrange(self._num_sms),
-                fault_id=index,
-                since=rng.uniform(0.0, self._makespan * 0.5),
-            )
-        return SEUFault(
-            sm=rng.randrange(self._num_sms),
-            time=rng.uniform(0.0, self._makespan),
-            fault_id=index,
-        )
+        pick = rng.randrange(total)
+        if pick < transient_ccf:
+            kind = "ccf"
+        elif pick < transient_ccf + permanent_sm:
+            kind = "perm"
+        else:
+            kind = "seu"
+        return self._build_fault(kind, rng, fault_id, phase_quantum)
 
     def sample_range(self, config: CampaignConfig, start: int,
                      stop: int) -> List[FaultDescriptor]:

@@ -100,7 +100,15 @@ class SafetyCriticalOffload:
 
         Returns:
             The :class:`OffloadResult`.
+
+        Raises:
+            RedundancyError: for an empty kernel chain — the five-step
+                protocol has nothing to allocate, transfer or compare.
         """
+        if not kernels:
+            raise RedundancyError(
+                "offload protocol requires a non-empty kernel chain"
+            )
         ctx = self._ctx
         start_ms = ctx.clock_ms
 

@@ -1,0 +1,348 @@
+"""Online, O(1)-memory stream statistics.
+
+Million-frame soak runs must never materialise per-frame records, so all
+stream analytics are *streaming* folds:
+
+* :class:`P2Quantile` — the P² quantile estimator (Jain & Chlamtac,
+  CACM 1985): five markers per tracked quantile, parabolic interpolation,
+  exact for the first five observations, O(1) per update;
+* :class:`StreamingMoments` — count / min / max / mean / variance via
+  Welford's algorithm (numerically stable, single pass);
+* :class:`WindowedRates` — tumbling windows over the stream's virtual
+  time axis whose per-window throughput and utilisation fold into
+  bounded min/mean/max aggregates (empty windows count as idle).
+
+All folds are deterministic: feeding the same values in the same order
+produces bit-identical state, which is what lets
+:meth:`~repro.streams.report.StreamReport.digest` promise bit-identity
+across worker/chunk configurations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.errors import StreamError
+
+__all__ = ["P2Quantile", "StreamingMoments", "WindowedRates"]
+
+
+class P2Quantile:
+    """Streaming estimate of one quantile in O(1) memory (P² algorithm).
+
+    The estimator keeps five markers whose heights track the minimum, the
+    quantile's neighbourhood and the maximum; marker positions follow
+    their desired positions with parabolic (fallback linear) height
+    adjustment.  The first five observations are buffered, so estimates
+    are *exact* until then.
+
+    Args:
+        q: the tracked quantile, strictly in ``(0, 1)``.
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise StreamError("quantile must lie strictly in (0, 1)")
+        self._q = q
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        self._count = 0
+
+    @property
+    def q(self) -> float:
+        """The tracked quantile."""
+        return self._q
+
+    @property
+    def count(self) -> int:
+        """Number of observations folded in."""
+        return self._count
+
+    # ------------------------------------------------------------------
+    def add(self, x: float) -> None:
+        """Fold one observation into the estimate."""
+        self._count += 1
+        heights = self._heights
+        if self._count <= 5:
+            heights.append(x)
+            heights.sort()
+            if self._count == 5:
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [
+                    1.0 + 4.0 * inc for inc in self._increments
+                ]
+            return
+
+        positions = self._positions
+        # locate the cell k with heights[k] <= x < heights[k+1]
+        if x < heights[0]:
+            heights[0] = x
+            k = 0
+        elif x >= heights[4]:
+            heights[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= heights[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        # adjust the three interior markers toward their desired positions
+        for i in range(1, 4):
+            delta = self._desired[i] - positions[i]
+            if ((delta >= 1.0 and positions[i + 1] - positions[i] > 1.0)
+                    or (delta <= -1.0
+                        and positions[i - 1] - positions[i] < -1.0)):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        """Piecewise-parabolic height prediction for marker ``i``."""
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        """Linear fallback when the parabolic prediction leaves its cell."""
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> float:
+        """The current quantile estimate.
+
+        Exact (interpolated from the sorted buffer) while fewer than five
+        observations have arrived; the centre P² marker afterwards.
+
+        Raises:
+            StreamError: before any observation.
+        """
+        if self._count == 0:
+            raise StreamError("quantile of an empty stream is undefined")
+        if self._count < 5:
+            ordered = self._heights
+            rank = self._q * (len(ordered) - 1)
+            lo = math.floor(rank)
+            hi = min(lo + 1, len(ordered) - 1)
+            frac = rank - lo
+            return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+        return self._heights[2]
+
+
+class StreamingMoments:
+    """Count, min, max, mean and variance in one pass (Welford)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, x: float) -> None:
+        """Fold one observation."""
+        self._count += 1
+        self._min = min(self._min, x)
+        self._max = max(self._max, x)
+        delta = x - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (x - self._mean)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation.
+
+        Raises:
+            StreamError: before any observation.
+        """
+        self._require()
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation.
+
+        Raises:
+            StreamError: before any observation.
+        """
+        self._require()
+        return self._max
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean.
+
+        Raises:
+            StreamError: before any observation.
+        """
+        self._require()
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation (0.0 for a single observation).
+
+        Raises:
+            StreamError: before any observation.
+        """
+        self._require()
+        return math.sqrt(self._m2 / self._count)
+
+    def _require(self) -> None:
+        if self._count == 0:
+            raise StreamError("moments of an empty stream are undefined")
+
+
+class WindowedRates:
+    """Tumbling throughput/utilisation windows with bounded aggregates.
+
+    The stream's virtual time axis is cut into windows of ``window_ms``;
+    each completed frame contributes its completion instant and the GPU
+    busy time it consumed.  When the stream moves past a window the
+    window's throughput (frames per second) and utilisation (busy time
+    over window length) fold into min/mean/max aggregates — windows with
+    no completions count as idle, so the aggregates honestly reflect
+    bursts *and* gaps.  Memory is O(1) regardless of stream length.
+
+    Completion instants must be non-decreasing (single-server FIFO
+    streams satisfy this by construction).
+
+    Args:
+        window_ms: window length in stream milliseconds.
+    """
+
+    def __init__(self, window_ms: float) -> None:
+        if window_ms <= 0:
+            raise StreamError("window length must be positive")
+        self._window_ms = window_ms
+        self._current = 0          # index of the open window
+        self._frames_in_window = 0
+        self._busy_in_window = 0.0
+        self._last_t = 0.0
+        # folded aggregates over closed windows
+        self._windows = 0
+        self._fps_min = math.inf
+        self._fps_max = -math.inf
+        self._fps_sum = 0.0
+        self._util_min = math.inf
+        self._util_max = -math.inf
+        self._util_sum = 0.0
+
+    @property
+    def window_ms(self) -> float:
+        """Window length in stream milliseconds."""
+        return self._window_ms
+
+    @property
+    def closed_windows(self) -> int:
+        """Number of windows folded so far."""
+        return self._windows
+
+    # ------------------------------------------------------------------
+    def observe(self, completion_ms: float, busy_ms: float) -> None:
+        """Fold one completed frame.
+
+        Args:
+            completion_ms: the frame's completion instant (non-decreasing
+                across calls).
+            busy_ms: GPU busy time the frame consumed.
+
+        Raises:
+            StreamError: when completion instants go backwards.
+        """
+        if completion_ms < self._last_t:
+            raise StreamError(
+                "window completions must be non-decreasing "
+                f"({completion_ms} after {self._last_t})"
+            )
+        self._last_t = completion_ms
+        window = int(completion_ms // self._window_ms)
+        if window > self._current:
+            self._roll_to(window)
+        self._frames_in_window += 1
+        self._busy_in_window += busy_ms
+
+    def _roll_to(self, window: int) -> None:
+        """Close the open window (plus any skipped idle windows)."""
+        self._fold(self._frames_in_window, self._busy_in_window)
+        idle = window - self._current - 1
+        if idle > 0:
+            # idle windows fold as zero throughput / zero utilisation
+            self._windows += idle
+            self._fps_min = min(self._fps_min, 0.0)
+            self._fps_max = max(self._fps_max, 0.0)
+            self._util_min = min(self._util_min, 0.0)
+            self._util_max = max(self._util_max, 0.0)
+        self._current = window
+        self._frames_in_window = 0
+        self._busy_in_window = 0.0
+
+    def _fold(self, frames: int, busy_ms: float) -> None:
+        fps = frames / (self._window_ms / 1000.0)
+        util = min(1.0, busy_ms / self._window_ms)
+        self._windows += 1
+        self._fps_min = min(self._fps_min, fps)
+        self._fps_max = max(self._fps_max, fps)
+        self._fps_sum += fps
+        self._util_min = min(self._util_min, util)
+        self._util_max = max(self._util_max, util)
+        self._util_sum += util
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Close the open window and return the folded aggregates.
+
+        Returns:
+            Mapping with ``windows``, ``window_ms`` and the
+            ``fps_min/mean/max`` / ``util_min/mean/max`` aggregates
+            (all zero when the stream produced no completions).
+        """
+        frames, busy = self._frames_in_window, self._busy_in_window
+        windows = self._windows
+        fps_min, fps_max, fps_sum = self._fps_min, self._fps_max, self._fps_sum
+        util_min, util_max = self._util_min, self._util_max
+        util_sum = self._util_sum
+        if frames or windows == 0:
+            # fold the in-progress window without mutating state, so
+            # summary() is idempotent and observe() can continue
+            fps = frames / (self._window_ms / 1000.0)
+            util = min(1.0, busy / self._window_ms)
+            windows += 1
+            fps_min = min(fps_min, fps)
+            fps_max = max(fps_max, fps)
+            fps_sum += fps
+            util_min = min(util_min, util)
+            util_max = max(util_max, util)
+            util_sum += util
+        return {
+            "windows": float(windows),
+            "window_ms": self._window_ms,
+            "fps_min": fps_min,
+            "fps_mean": fps_sum / windows,
+            "fps_max": fps_max,
+            "util_min": util_min,
+            "util_mean": util_sum / windows,
+            "util_max": util_max,
+        }

@@ -1,0 +1,90 @@
+"""Deterministic open-loop arrival processes for frame streams.
+
+Arrival times are generated from *indexed* PRNG substreams, mirroring the
+sharded-campaign seed schedule (:func:`repro.faults.campaign.fault_substream`):
+the randomness of frame ``i`` — its jitter offset, its Poisson gap, its
+fault-overlay draws — comes exclusively from a PRNG seeded with
+``SHA-256(seed, purpose, i)``.  No frame consumes another frame's draws,
+so the stream's behaviour is a pure function of ``(spec, seed)`` and can
+never depend on worker counts or chunk boundaries.
+
+The three models:
+
+* **periodic** — frame ``i`` arrives at exactly ``i * period_ms``;
+* **jittered** — periodic plus an independent uniform offset in
+  ``[-jitter_ms, +jitter_ms]`` per frame (sensor-timestamp wobble); with
+  ``jitter_ms <= period_ms / 2`` arrival times stay non-decreasing;
+* **poisson** — exponential inter-arrival gaps with mean ``period_ms``
+  (memoryless open-loop traffic); arrival ``i`` is the prefix sum of the
+  first ``i`` indexed gaps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterator
+
+from repro.api.stream import ArrivalSpec
+
+__all__ = ["frame_substream", "iter_arrivals"]
+
+
+def frame_substream(seed: int, purpose: str, index: int) -> random.Random:
+    """PRNG substream of frame ``index`` for one purpose within a stream.
+
+    The substream is seeded with ``SHA-256(seed, purpose, index)``, so a
+    frame's draws for one purpose (``"jitter"``, ``"gap"``, ``"fault"``)
+    are independent of every other frame's and of the other purposes' —
+    the same indexed-randomness contract the sharded campaigns are built
+    on (see ``docs/CAMPAIGNS.md`` and ``docs/STREAMS.md``).
+
+    Args:
+        seed: the stream's master seed.
+        purpose: short label separating independent uses of the seed.
+        index: frame index.
+
+    Returns:
+        A freshly seeded :class:`random.Random`.
+    """
+    digest = hashlib.sha256(
+        f"{seed}:{purpose}:{index}".encode("ascii")
+    ).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def iter_arrivals(spec: ArrivalSpec, seed: int) -> Iterator[float]:
+    """Yield the stream's arrival times (milliseconds), frame by frame.
+
+    The iterator is infinite — the runner slices it to the stream's frame
+    count.  Arrival times are non-decreasing for every model
+    (:class:`~repro.api.stream.ArrivalSpec` validates the jitter bound).
+
+    Args:
+        spec: the arrival process description.
+        seed: the stream's master seed (jitter and Poisson substreams).
+    """
+    period = spec.period_ms
+    if spec.model == "periodic":
+        index = 0
+        while True:
+            yield index * period
+            index += 1
+    elif spec.model == "jittered":
+        jitter = spec.jitter_ms
+        index = 0
+        while True:
+            offset = frame_substream(seed, "jitter", index).uniform(
+                -jitter, jitter
+            ) if jitter else 0.0
+            yield max(0.0, index * period + offset)
+            index += 1
+    else:  # poisson
+        clock = 0.0
+        index = 0
+        while True:
+            clock += frame_substream(seed, "gap", index).expovariate(
+                1.0 / period
+            )
+            yield clock
+            index += 1

@@ -1,0 +1,205 @@
+"""The virtual-time stream engine: open-loop frame traffic on one GPU.
+
+:func:`run_stream` turns a :class:`~repro.api.stream.StreamSpec` into a
+:class:`~repro.streams.report.StreamReport` by composing three stages:
+
+1. **job resolution** (:mod:`repro.streams.jobs`) — every distinct frame
+   job is simulated redundantly once on the virtual-time
+   :class:`~repro.gpu.simulator.GPUSimulator`; its makespan is the
+   frame's service time, its clean trace the fault-overlay substrate.
+   This is the only expensive stage and the only parallel one.
+2. **queueing recurrence** — frames flow through a single-server bounded
+   FIFO in arrival order: an arrival that finds the queue full is
+   *dropped* (backpressure); an admitted frame starts when the server
+   frees up and completes one service time later (plus one full
+   re-execution per detected fault).  The recurrence is O(1) per frame
+   and O(queue depth) memory, so million-frame soaks stream through
+   without materialising anything.
+3. **online analytics** (:mod:`repro.streams.analytics`) — latency and
+   wait moments, P² quantile estimates, deadline/drop counters and
+   tumbling throughput/utilisation windows, all folded frame by frame.
+
+Determinism contract: the report is a pure function of ``(spec, seed)``.
+Worker counts only parallelise stage 1 (whose results are deterministic
+simulations) and ``chunk_frames`` only batches the arrival generator of
+stage 2 (which always folds frames in index order), so
+``StreamReport.digest()`` is bit-identical across any worker/chunk
+configuration — proven by ``tests/streams/test_stream_runner.py`` and
+measured at soak scale by ``benchmarks/bench_streams.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import islice
+from typing import Deque, Dict, List, Optional
+
+from repro.api.stream import StreamSpec
+from repro.errors import StreamError
+from repro.faults.outcomes import FaultOutcome
+from repro.streams.analytics import P2Quantile, StreamingMoments, WindowedRates
+from repro.streams.arrivals import frame_substream, iter_arrivals
+from repro.streams.jobs import JobProfile, resolve_jobs
+from repro.streams.report import StreamReport, quantile_key
+
+__all__ = ["run_stream", "DEFAULT_CHUNK_FRAMES"]
+
+#: Default frame-loop batch size (purely mechanical; see the module
+#: docstring's determinism contract).
+DEFAULT_CHUNK_FRAMES = 65536
+
+
+def run_stream(spec: StreamSpec, *, workers: int = 1,
+               chunk_frames: int = DEFAULT_CHUNK_FRAMES,
+               validate: bool = True) -> StreamReport:
+    """Execute one open-loop frame stream and fold its online report.
+
+    Args:
+        spec: the declarative stream.
+        workers: process count for the distinct-job simulations
+            (``1`` simulates in-process); never changes the report.
+        chunk_frames: frame-loop batch size (arrival generation is
+            batched in chunks of this many frames); never changes the
+            report.
+        validate: forward the simulator's trace-validation switch.
+
+    Returns:
+        The aggregate :class:`~repro.streams.report.StreamReport` —
+        bit-identical (``report.digest()``) for any ``workers`` /
+        ``chunk_frames`` configuration.
+
+    Raises:
+        StreamError: for invalid worker/chunk counts or workloads that
+            resolve to no kernels.
+    """
+    if chunk_frames < 1:
+        raise StreamError("chunk_frames must be >= 1")
+    profiles = resolve_jobs(spec, workers=workers, validate=validate)
+    policy = profiles[0].run.sim.scheduler_name
+    deadline = spec.effective_deadline_ms
+    faults = spec.faults if (
+        spec.faults is not None and spec.faults.probability > 0.0
+    ) else None
+
+    latency_moments = StreamingMoments()
+    wait_moments = StreamingMoments()
+    estimators = [P2Quantile(q) for q in spec.quantiles]
+    windows = WindowedRates(spec.effective_window_ms)
+
+    completed = dropped = deadline_misses = 0
+    injected = masked = detected = sdc = re_executions = 0
+
+    # single-server bounded FIFO: completion times of frames still in
+    # the system (head = oldest); capacity = 1 in service + queue_depth
+    in_system: Deque[float] = deque()
+    capacity = spec.queue_depth + 1
+    last_completion = 0.0
+    last_arrival = 0.0
+    service_sum = 0.0
+
+    arrivals = iter_arrivals(spec.arrival, spec.seed)
+    n_jobs = len(profiles)
+    frame = 0
+    remaining = spec.frames
+    while remaining:
+        batch = list(islice(arrivals, min(chunk_frames, remaining)))
+        remaining -= len(batch)
+        for arrival in batch:
+            last_arrival = arrival
+            while in_system and in_system[0] <= arrival:
+                in_system.popleft()
+            if len(in_system) >= capacity:
+                dropped += 1
+                frame += 1
+                continue
+
+            profile = profiles[frame % n_jobs]
+            service = profile.service_ms
+            busy = profile.busy_ms
+            if faults is not None:
+                rng = frame_substream(spec.seed, "fault", frame)
+                if rng.random() < faults.probability:
+                    injected += 1
+                    fault = profile.campaign.random_fault(
+                        rng,
+                        transient_ccf=faults.transient_ccf,
+                        permanent_sm=faults.permanent_sm,
+                        seu=faults.seu,
+                        phase_quantum=faults.phase_quantum,
+                        fault_id=frame,
+                    )
+                    outcome = profile.campaign.classify(fault).outcome
+                    if outcome is FaultOutcome.DETECTED:
+                        detected += 1
+                        re_executions += 1
+                        service += profile.service_ms
+                        busy += profile.busy_ms
+                    elif outcome is FaultOutcome.SDC:
+                        sdc += 1
+                    else:
+                        masked += 1
+
+            begin = max(arrival, last_completion)
+            completion = begin + service
+            last_completion = completion
+            in_system.append(completion)
+            service_sum += service
+
+            wait = begin - arrival
+            latency = completion - arrival
+            completed += 1
+            if latency > deadline:
+                deadline_misses += 1
+            latency_moments.add(latency)
+            wait_moments.add(wait)
+            for estimator in estimators:
+                estimator.add(latency)
+            windows.observe(completion, busy)
+            frame += 1
+
+    elapsed = max(last_arrival, last_completion)
+    return StreamReport(
+        label=spec.label,
+        policy=policy,
+        spec_hash=spec.config_hash,
+        seed=spec.seed,
+        frames=spec.frames,
+        completed=completed,
+        dropped=dropped,
+        deadline_ms=deadline,
+        deadline_misses=deadline_misses,
+        faults_injected=injected,
+        faults_masked=masked,
+        faults_detected=detected,
+        faults_sdc=sdc,
+        re_executions=re_executions,
+        latency=_moment_dict(latency_moments, estimators),
+        wait=_moment_dict(wait_moments, None),
+        service=_service_table(profiles),
+        elapsed_ms=elapsed,
+        throughput_fps=(completed / (elapsed / 1000.0)) if elapsed else 0.0,
+        utilisation=min(1.0, service_sum / elapsed) if elapsed else 0.0,
+        windows=windows.summary(),
+    )
+
+
+def _moment_dict(moments: StreamingMoments,
+                 estimators: Optional[List[P2Quantile]]) -> Dict[str, float]:
+    """Plain-data form of one online statistic set."""
+    if moments.count == 0:
+        return {"count": 0.0}
+    out = {
+        "count": float(moments.count),
+        "min": moments.minimum,
+        "max": moments.maximum,
+        "mean": moments.mean,
+        "std": moments.std,
+    }
+    for estimator in estimators or ():
+        out[quantile_key(estimator.q)] = estimator.value
+    return out
+
+
+def _service_table(profiles: List[JobProfile]) -> Dict[str, float]:
+    """Per-job service times keyed by workload label."""
+    return {profile.label: profile.service_ms for profile in profiles}

@@ -236,6 +236,57 @@ class TestIndexedSampling:
         assert campaign.policy == report.policy
 
 
+class TestRandomFaultHook:
+    """The stream-overlay hook: caller-seeded draws over the domain."""
+
+    def test_deterministic_for_equal_rngs(self, srrs_run):
+        import random
+
+        campaign = FaultCampaign(srrs_run)
+        a = campaign.random_fault(random.Random(5), fault_id=7)
+        b = campaign.random_fault(random.Random(5), fault_id=7)
+        assert a == b
+
+    def test_weights_select_kind(self, srrs_run):
+        import random
+
+        campaign = FaultCampaign(srrs_run)
+        ccf = campaign.random_fault(random.Random(1), transient_ccf=1,
+                                    permanent_sm=0, seu=0)
+        perm = campaign.random_fault(random.Random(1), transient_ccf=0,
+                                     permanent_sm=1, seu=0)
+        seu = campaign.random_fault(random.Random(1), transient_ccf=0,
+                                    permanent_sm=0, seu=1)
+        assert type(ccf).__name__ == "TransientCCF"
+        assert type(perm).__name__ == "PermanentSMFault"
+        assert type(seu).__name__ == "SEUFault"
+
+    def test_draws_stay_in_domain_and_classify(self, srrs_run):
+        import random
+
+        campaign = FaultCampaign(srrs_run)
+        trace = srrs_run.sim.trace
+        rng = random.Random(99)
+        for fault_id in range(50):
+            fault = campaign.random_fault(rng, fault_id=fault_id)
+            if hasattr(fault, "time"):
+                assert 0.0 <= fault.time <= trace.makespan
+            if hasattr(fault, "sm") and fault.sm is not None:
+                assert 0 <= fault.sm < trace.num_sms
+            result = campaign.classify(fault)
+            assert result.outcome is not FaultOutcome.SDC  # SRRS detects
+
+    def test_invalid_weights_rejected(self, srrs_run):
+        import random
+
+        campaign = FaultCampaign(srrs_run)
+        with pytest.raises(FaultInjectionError):
+            campaign.random_fault(random.Random(1), transient_ccf=0,
+                                  permanent_sm=0, seu=0)
+        with pytest.raises(FaultInjectionError):
+            campaign.random_fault(random.Random(1), transient_ccf=-1)
+
+
 class TestEmptyReportGuards:
     """Empty reports must raise, not divide by zero or claim coverage."""
 

@@ -152,6 +152,24 @@ class TestSafetyCriticalOffload:
         with pytest.raises(RedundancyError):
             SafetyCriticalOffload(gpu, copies=1)
 
+    def test_empty_kernel_chain_rejected(self, gpu):
+        offload = SafetyCriticalOffload(gpu, policy="srrs")
+        with pytest.raises(RedundancyError) as excinfo:
+            offload.run([])
+        assert "non-empty" in str(excinfo.value)
+
+    def test_empty_chain_leaves_context_clean(self, gpu, kernel):
+        # the guard fires before any allocation/transfer, so the context
+        # is untouched and the next offload proceeds normally
+        offload = SafetyCriticalOffload(gpu, policy="srrs")
+        clock_before = offload.context.clock_ms
+        with pytest.raises(RedundancyError):
+            offload.run([])
+        assert offload.context.clock_ms == clock_before
+        assert not offload.context.dcls.log
+        result = offload.run([kernel])
+        assert not result.detected_mismatch
+
     def test_protocol_steps_logged_in_order(self, gpu, kernel):
         offload = SafetyCriticalOffload(gpu, policy="srrs")
         offload.run([kernel])

@@ -80,6 +80,45 @@ class TestChecking:
         assert watchdog.check(trace).all_met
 
 
+class TestDeadlineBoundary:
+    def test_completion_exactly_at_deadline_is_met(self, trace):
+        # deadlines are inclusive: finishing *at* the deadline is on time
+        completion = trace.span(0).completion
+        watchdog = DeadlineWatchdog({0: completion})
+        assert watchdog.check(trace).all_met
+
+    def test_completion_just_past_deadline_is_violation(self, trace):
+        completion = trace.span(0).completion
+        watchdog = DeadlineWatchdog({0: completion * (1 - 1e-12)})
+        report = watchdog.check(trace)
+        assert not report.all_met
+        assert report.violations[0].completion == completion
+
+    def test_all_launches_at_exact_boundary(self, trace, kernel):
+        launches = build_redundant_workload([kernel])
+        # margin 1.0 with the observed makespan as the bound: every
+        # launch completes at or before its deadline, none after
+        watchdog = DeadlineWatchdog.for_workload(
+            launches, trace.makespan, margin=1.0
+        )
+        report = watchdog.check(trace)
+        assert report.all_met
+        assert report.checked_launches == len(launches)
+
+    def test_handled_exactly_at_ftti_boundary_is_within(self):
+        from repro.iso26262.fault_model import FaultHandlingTimeline
+
+        ftti = Ftti(10.0)
+        # within() is inclusive: handling *at* the FTTI boundary passes
+        boundary = FaultHandlingTimeline(detected_at=1.0, handled_at=10.0)
+        assert boundary.within(ftti)
+        boundary.check(ftti)  # must not raise
+        late = FaultHandlingTimeline(
+            detected_at=1.0, handled_at=10.0 + 1e-9
+        )
+        assert not late.within(ftti)
+
+
 class TestTimelineBridge:
     def test_all_met_gives_clear_timeline(self, trace, gpu, kernel):
         launches = build_redundant_workload([kernel])

@@ -1,0 +1,83 @@
+"""Tests for the deterministic arrival processes (repro.streams.arrivals)."""
+
+from __future__ import annotations
+
+from itertools import islice
+
+import pytest
+
+from repro.api.stream import ArrivalSpec
+from repro.streams.arrivals import frame_substream, iter_arrivals
+
+
+def _take(spec: ArrivalSpec, n: int, seed: int = 1):
+    return list(islice(iter_arrivals(spec, seed), n))
+
+
+class TestFrameSubstream:
+    def test_deterministic(self):
+        a = frame_substream(7, "jitter", 3).random()
+        b = frame_substream(7, "jitter", 3).random()
+        assert a == b
+
+    def test_independent_across_indices_and_purposes(self):
+        draws = {
+            frame_substream(7, "jitter", 0).random(),
+            frame_substream(7, "jitter", 1).random(),
+            frame_substream(7, "gap", 0).random(),
+            frame_substream(8, "jitter", 0).random(),
+        }
+        assert len(draws) == 4
+
+
+class TestPeriodic:
+    def test_exact_grid(self):
+        times = _take(ArrivalSpec(period_ms=10.0), 5)
+        assert times == [0.0, 10.0, 20.0, 30.0, 40.0]
+
+    def test_seed_irrelevant(self):
+        spec = ArrivalSpec(period_ms=5.0)
+        assert _take(spec, 10, seed=1) == _take(spec, 10, seed=2)
+
+
+class TestJittered:
+    def test_deterministic_per_seed(self):
+        spec = ArrivalSpec(model="jittered", period_ms=10.0, jitter_ms=3.0)
+        assert _take(spec, 50, seed=9) == _take(spec, 50, seed=9)
+        assert _take(spec, 50, seed=9) != _take(spec, 50, seed=10)
+
+    def test_offsets_bounded_and_nondecreasing(self):
+        spec = ArrivalSpec(model="jittered", period_ms=10.0, jitter_ms=4.0)
+        times = _take(spec, 200)
+        for i, t in enumerate(times):
+            assert abs(t - i * 10.0) <= 4.0 + 1e-12
+        assert times == sorted(times)
+
+    def test_zero_jitter_is_periodic(self):
+        spec = ArrivalSpec(model="jittered", period_ms=10.0, jitter_ms=0.0)
+        assert _take(spec, 4) == [0.0, 10.0, 20.0, 30.0]
+
+    def test_never_negative(self):
+        spec = ArrivalSpec(model="jittered", period_ms=10.0, jitter_ms=5.0)
+        assert all(t >= 0.0 for t in _take(spec, 100))
+
+
+class TestPoisson:
+    def test_deterministic_per_seed(self):
+        spec = ArrivalSpec(model="poisson", period_ms=10.0)
+        assert _take(spec, 100, seed=3) == _take(spec, 100, seed=3)
+        assert _take(spec, 100, seed=3) != _take(spec, 100, seed=4)
+
+    def test_strictly_increasing(self):
+        times = _take(ArrivalSpec(model="poisson", period_ms=10.0), 500)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_mean_gap_near_period(self):
+        times = _take(ArrivalSpec(model="poisson", period_ms=10.0), 5000)
+        mean_gap = times[-1] / (len(times) - 1)
+        assert mean_gap == pytest.approx(10.0, rel=0.1)
+
+    def test_prefix_stability(self):
+        # the first n arrivals never depend on how many are consumed
+        spec = ArrivalSpec(model="poisson", period_ms=10.0)
+        assert _take(spec, 10) == _take(spec, 100)[:10]

@@ -1,0 +1,123 @@
+"""Tests for the stream CLI subcommands and the analysis rows."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.streams import arrival_rate_sweep
+from repro.api import RunSpec, WorkloadSpec
+from repro.api.stream import StreamSpec
+from repro.cli import main
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    spec = StreamSpec(
+        run=RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                    policy="srrs"),
+        frames=150,
+        tag="cli-stream",
+    )
+    path = tmp_path / "stream.json"
+    path.write_text(spec.to_json(indent=2))
+    return path
+
+
+class TestStreamRun:
+    def test_spec_file_table(self, capsys, spec_file):
+        assert main(["stream", "run", "--spec", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-stream" in out
+        assert "throughput" in out
+
+    def test_spec_file_json(self, capsys, spec_file):
+        assert main(["stream", "run", "--spec", str(spec_file),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["frames"] == 150
+        assert payload["label"] == "cli-stream"
+
+    def test_task_stream(self, capsys):
+        assert main(["stream", "run", "--task", "camera-perception",
+                     "--frames", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "camera-perception" in out
+
+    def test_frames_override(self, capsys, spec_file):
+        assert main(["stream", "run", "--spec", str(spec_file),
+                     "--frames", "60", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["frames"] == 60
+
+    def test_spec_and_task_mutually_exclusive(self, capsys, spec_file):
+        assert main(["stream", "run", "--spec", str(spec_file),
+                     "--task", "radar-cfar"]) == 1
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_neither_spec_nor_task(self, capsys):
+        assert main(["stream", "run"]) == 1
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_missing_spec_file(self, capsys, tmp_path):
+        assert main(["stream", "run", "--spec",
+                     str(tmp_path / "absent.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_bad_frames_override(self, capsys, spec_file):
+        assert main(["stream", "run", "--spec", str(spec_file),
+                     "--frames", "0"]) == 1
+        assert "frames" in capsys.readouterr().err
+
+
+class TestStreamReportCommand:
+    def test_out_then_report_round_trip(self, capsys, spec_file, tmp_path):
+        out_file = tmp_path / "report.json"
+        assert main(["stream", "run", "--spec", str(spec_file),
+                     "--out", str(out_file)]) == 0
+        run_out = capsys.readouterr().out
+        assert out_file.exists()
+
+        assert main(["stream", "report", "--report", str(out_file)]) == 0
+        report_out = capsys.readouterr().out
+        # the re-rendered table carries the same digest row
+        digest_rows = [line for line in run_out.splitlines()
+                       if line.startswith("digest")]
+        assert digest_rows and digest_rows[0] in report_out
+
+    def test_report_rejects_non_report_json(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"hello": "world"}))
+        assert main(["stream", "report", "--report", str(bogus)]) == 1
+        assert "missing" in capsys.readouterr().err
+
+    def test_report_rejects_invalid_json(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{not json")
+        assert main(["stream", "report", "--report", str(bogus)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestArrivalRateSweep:
+    def test_rows_cover_requested_periods(self):
+        spec = StreamSpec(
+            run=RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                        policy="srrs"),
+            frames=300,
+            deadline_ms=1.0,
+        )
+        rows = arrival_rate_sweep(spec, [1.0, 0.15])
+        assert [row.period_ms for row in rows] == [1.0, 0.15]
+        assert rows[0].dropped == 0
+        assert rows[1].utilisation > rows[0].utilisation
+        assert all(len(row.digest) == 16 for row in rows)

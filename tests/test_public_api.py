@@ -15,7 +15,7 @@ from repro.errors import ReproError
 
 class TestTopLevelSurface:
     def test_version(self):
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
@@ -29,12 +29,13 @@ class TestTopLevelSurface:
         import repro.host
         import repro.iso26262
         import repro.redundancy
+        import repro.streams
         import repro.workloads
 
         for module in (
             repro.gpu, repro.gpu.scheduler, repro.redundancy,
             repro.iso26262, repro.faults, repro.workloads, repro.host,
-            repro.analysis,
+            repro.analysis, repro.streams,
         ):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name}"
@@ -53,7 +54,7 @@ class TestErrorHierarchy:
     @pytest.mark.parametrize("name", [
         "ConfigurationError", "SchedulingError", "SimulationError",
         "CapacityError", "RedundancyError", "SafetyViolation",
-        "FaultInjectionError",
+        "FaultInjectionError", "StreamError",
     ])
     def test_all_errors_derive_from_base(self, name):
         error_type = getattr(repro, name)
