@@ -18,6 +18,9 @@ Top-level packages:
 * :mod:`repro.streams` — continuous ADAS frame traffic: open-loop
   arrival models, bounded-queue backpressure, per-frame deadline/FTTI
   accounting and online O(1)-memory latency analytics;
+* :mod:`repro.platform` — multi-device vehicle platforms: deterministic
+  task placement across a heterogeneous GPU fleet, per-device stream
+  execution and the platform-level ISO 26262 rollup;
 * :mod:`repro.gpu` — GPU model, discrete-event timing simulator, kernel
   schedulers (default / SRRS / HALF), COTS end-to-end model;
 * :mod:`repro.redundancy` — redundant execution manager, output
@@ -62,12 +65,14 @@ from repro.errors import (
     CapacityError,
     ConfigurationError,
     FaultInjectionError,
+    PlatformError,
     RedundancyError,
     ReproError,
     SafetyViolation,
     SchedulingError,
     SimulationError,
     StreamError,
+    WorkerCountError,
 )
 from repro.gpu import (
     ExecutionTrace,
@@ -95,17 +100,20 @@ from repro.redundancy import (
 )
 from repro.workloads import classify_kernel, get_benchmark
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 # the api and campaigns packages import repro.__version__ lazily at run
 # time, so these imports must stay below the version assignment
 from repro.api import (
     ArrivalSpec,
     CampaignSpec,
+    DeviceSpec,
     Engine,
     FaultPlanSpec,
     GPUSpec,
     KernelSpec,
+    PlacementSpec,
+    PlatformSpec,
     RunArtifact,
     RunSpec,
     StreamFaultSpec,
@@ -124,6 +132,7 @@ from repro.campaigns import (
     run_campaign,
 )
 from repro.streams import StreamReport, run_stream
+from repro.platform import PlatformReport, plan_placement, run_platform
 
 __all__ = [
     "__version__",
@@ -137,6 +146,8 @@ __all__ = [
     "SafetyViolation",
     "FaultInjectionError",
     "StreamError",
+    "PlatformError",
+    "WorkerCountError",
     # gpu
     "GPUConfig",
     "SMConfig",
@@ -188,4 +199,11 @@ __all__ = [
     "StreamFaultSpec",
     "StreamReport",
     "run_stream",
+    # platform
+    "PlatformSpec",
+    "DeviceSpec",
+    "PlacementSpec",
+    "PlatformReport",
+    "plan_placement",
+    "run_platform",
 ]

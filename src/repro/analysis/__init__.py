@@ -23,6 +23,13 @@ from repro.analysis.streams import (
     arrival_rate_sweep,
     stream_summary_rows,
 )
+from repro.analysis.platform import (
+    DeviceCountRow,
+    PlacementPolicyRow,
+    device_count_sweep,
+    placement_policy_sweep,
+    platform_summary_rows,
+)
 from repro.analysis.bounds import (
     half_chain_bound,
     isolated_kernel_bound,
@@ -48,6 +55,11 @@ __all__ = [
     "StreamRateRow",
     "arrival_rate_sweep",
     "stream_summary_rows",
+    "PlacementPolicyRow",
+    "DeviceCountRow",
+    "placement_policy_sweep",
+    "device_count_sweep",
+    "platform_summary_rows",
     "render_table",
     "render_bars",
     "render_grouped_bars",

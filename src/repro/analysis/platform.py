@@ -1,0 +1,188 @@
+"""Platform-level measurements (the ``BENCH_platform.json`` rows).
+
+Two sweeps cover the questions the platform layer exists to answer —
+*which placement policy should a platform use?* and *how does the
+platform scale with devices?* — plus the key/value rows the ``platform``
+CLI renders.  Every row records the relevant digest, so regenerating a
+sweep proves bit-stability of the whole surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.api.platform import DeviceSpec, PlacementSpec, PlatformSpec
+from repro.api.stream import StreamSpec
+from repro.platform.placement import plan_placement
+from repro.platform.report import PlatformReport
+from repro.platform.runner import run_platform
+
+__all__ = [
+    "PlacementPolicyRow",
+    "DeviceCountRow",
+    "placement_policy_sweep",
+    "device_count_sweep",
+    "platform_summary_rows",
+]
+
+
+@dataclass(frozen=True)
+class PlacementPolicyRow:
+    """One policy's placement outcome on a fixed platform.
+
+    Attributes:
+        policy: placement policy name.
+        max_utilisation: utilisation of the most loaded device.
+        mean_utilisation: mean device utilisation.
+        spread: max minus min device utilisation (balance quality).
+        assignments: ``(task, device)`` pairs in canonical order.
+    """
+
+    policy: str
+    max_utilisation: float
+    mean_utilisation: float
+    spread: float
+    assignments: Tuple[Tuple[str, str], ...]
+
+
+def placement_policy_sweep(
+    spec: PlatformSpec,
+    policies: Sequence[str] = ("first_fit", "worst_fit", "balanced"),
+) -> List[PlacementPolicyRow]:
+    """Plan the same platform under several placement policies.
+
+    Args:
+        spec: the base platform (its placement policy is replaced point
+            by point; pins are kept).
+        policies: policy names to sweep (``pinned`` only makes sense
+            when the spec's pins cover every task).
+
+    Returns:
+        One :class:`PlacementPolicyRow` per policy, in the given order.
+    """
+    rows: List[PlacementPolicyRow] = []
+    for policy in policies:
+        point = replace(
+            spec, placement=replace(spec.placement, policy=policy)
+        )
+        plan = plan_placement(point)
+        utils = list(plan.device_utilisation.values())
+        rows.append(
+            PlacementPolicyRow(
+                policy=policy,
+                max_utilisation=max(utils),
+                mean_utilisation=sum(utils) / len(utils),
+                spread=max(utils) - min(utils),
+                assignments=plan.assignments,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class DeviceCountRow:
+    """One operating point of a device-count scaling sweep.
+
+    Attributes:
+        devices: number of devices in the fleet.
+        tasks: number of task streams placed.
+        frames: frames generated platform-wide.
+        max_utilisation: utilisation of the most loaded device.
+        throughput_fps: summed stream throughput.
+        verdict: the ISO 26262 rollup verdict (``"pass"``/``"fail"``).
+        digest: the platform report digest (determinism evidence).
+    """
+
+    devices: int
+    tasks: int
+    frames: float
+    max_utilisation: float
+    throughput_fps: float
+    verdict: str
+    digest: str
+
+
+def device_count_sweep(
+    tasks: Sequence[StreamSpec],
+    counts: Sequence[int],
+    *,
+    presets: Sequence[str] = ("gtx1050ti",),
+    policy: str = "balanced",
+    workers: int = 1,
+) -> List[DeviceCountRow]:
+    """Run the same task set on fleets of growing size.
+
+    Device ``i`` of an ``n``-device fleet is named ``gpu{i}`` and uses
+    ``presets[i % len(presets)]`` — pass several presets to sweep a
+    heterogeneous fleet.
+
+    Args:
+        tasks: the task streams (labels must be unique).
+        counts: fleet sizes to sweep.
+        presets: device preset cycle.
+        policy: placement policy for every point.
+        workers: forwarded to :func:`repro.platform.runner.run_platform`.
+
+    Returns:
+        One :class:`DeviceCountRow` per count, in the given order.
+    """
+    rows: List[DeviceCountRow] = []
+    for count in counts:
+        spec = PlatformSpec(
+            devices=tuple(
+                DeviceSpec(name=f"gpu{i}", preset=presets[i % len(presets)])
+                for i in range(count)
+            ),
+            tasks=tuple(tasks),
+            placement=PlacementSpec(policy=policy),
+            tag=f"{count}-device sweep",
+        )
+        report = run_platform(spec, workers=workers)
+        utils = [entry["utilisation"] for entry in report.devices.values()]
+        rows.append(
+            DeviceCountRow(
+                devices=count,
+                tasks=len(report.tasks),
+                frames=report.totals["frames"],
+                max_utilisation=max(utils),
+                throughput_fps=report.totals["throughput_fps"],
+                verdict=report.asil["verdict"],
+                digest=report.digest(),
+            )
+        )
+    return rows
+
+
+def platform_summary_rows(report: PlatformReport) -> List[List[object]]:
+    """Key/value rows of one report for ``render_table``."""
+    totals = report.totals
+    rows: List[List[object]] = [
+        ["platform", report.label],
+        ["placement policy", report.policy],
+        ["devices", len(report.devices)],
+        ["tasks", len(report.tasks)],
+        ["frames", f"{totals.get('frames', 0):g}"],
+        ["completed", f"{totals.get('completed', 0):g}"],
+        ["dropped", f"{totals.get('dropped', 0):g}"],
+        ["deadline misses", f"{totals.get('deadline_misses', 0):g}"],
+        ["SDCs", f"{totals.get('faults_sdc', 0):g}"],
+        ["safe rate", f"{totals.get('safe_rate', 0.0):.4f}"],
+        ["throughput (fps)", f"{totals.get('throughput_fps', 0.0):.2f}"],
+    ]
+    for name, entry in sorted(report.devices.items()):
+        rows.append([
+            f"device {name}",
+            f"util={entry['utilisation']:.3f}/{entry['capacity']:g} "
+            f"tasks={','.join(entry['tasks']) or '-'}",
+        ])
+    for label, entry in sorted(report.tasks.items()):
+        rows.append([
+            f"task {label}",
+            f"{entry['device']} asil={entry['asil']} "
+            f"ok={entry['ok']} misses={entry['deadline_misses']}",
+        ])
+    rows.append(["worst ASIL", report.asil.get("worst_asil", "-")])
+    rows.append(["verdict", report.asil.get("verdict", "-")])
+    rows.append(["digest", report.digest()])
+    return rows

@@ -16,7 +16,11 @@ in four parts:
   :mod:`repro.campaigns`;
 * :mod:`repro.api.stream` — :class:`StreamSpec`, the declarative
   description of a continuous open-loop frame stream executed by
-  :mod:`repro.streams`.
+  :mod:`repro.streams`;
+* :mod:`repro.api.platform` — :class:`PlatformSpec` /
+  :class:`DeviceSpec` / :class:`PlacementSpec`, the declarative
+  description of a multi-device vehicle platform executed by
+  :mod:`repro.platform`.
 
 Quickstart::
 
@@ -58,6 +62,7 @@ from repro.api.spec import (
     WorkloadSpec,
 )
 from repro.api.stream import ArrivalSpec, StreamFaultSpec, StreamSpec
+from repro.api.platform import DeviceSpec, PlacementSpec, PlatformSpec
 
 __all__ = [
     # specs
@@ -72,6 +77,9 @@ __all__ = [
     "StreamSpec",
     "ArrivalSpec",
     "StreamFaultSpec",
+    "DeviceSpec",
+    "PlacementSpec",
+    "PlatformSpec",
     # artifacts
     "RunArtifact",
     "TimingSummary",

@@ -34,7 +34,7 @@ from repro.api.artifact import (
     TimingSummary,
 )
 from repro.api.spec import RunSpec
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkerCountError
 from repro.faults.campaign import FaultCampaign
 from repro.gpu.config import GPUConfig
 from repro.gpu.cots import cots_end_to_end
@@ -146,10 +146,17 @@ class Engine:
         Artifacts are yielded in spec order (the pool's map preserves
         order while executing out-of-order).  Argument validation happens
         eagerly, before the returned iterator is consumed.
+
+        Raises:
+            WorkerCountError: for ``workers < 1`` — a
+                :class:`ValueError` raised before any pool is created,
+                never passed through to the executor.
         """
         spec_list = list(specs)
         if workers < 1:
-            raise ConfigurationError("workers must be >= 1")
+            raise WorkerCountError(
+                f"workers must be >= 1, got {workers!r}"
+            )
         return self._stream(spec_list, workers)
 
     def _stream(self, spec_list: List[RunSpec],

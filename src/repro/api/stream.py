@@ -47,6 +47,7 @@ from repro.api.spec import (
     _flat_to_dict,
 )
 from repro.errors import ConfigurationError
+from repro.iso26262.asil import as_asil
 
 __all__ = ["ArrivalSpec", "StreamFaultSpec", "StreamSpec", "ARRIVAL_MODELS"]
 
@@ -191,6 +192,12 @@ class StreamSpec:
         seed: master PRNG seed of the stream's substreams (jitter,
             Poisson gaps, fault overlay).
         tag: free-form label carried into the report.
+        asil: integrity level of the task's safety goal (``"QM"``,
+            ``"A"``–``"D"``; any :func:`repro.iso26262.asil.as_asil`
+            form, canonicalised to the level name).  Set by
+            :meth:`for_task` from the ADAS library; drives the
+            platform-level ISO 26262 rollup.  ``None`` lets the rollup
+            fall back to a library lookup by label.
     """
 
     run: RunSpec
@@ -204,8 +211,11 @@ class StreamSpec:
     window_ms: Optional[float] = None
     seed: int = 2019
     tag: str = ""
+    asil: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.asil is not None:
+            object.__setattr__(self, "asil", as_asil(self.asil).name)
         if not self.run.simulate:
             raise ConfigurationError(
                 "a stream needs a simulated run (simulate=True) — frame "
@@ -244,6 +254,7 @@ class StreamSpec:
     @classmethod
     def for_task(cls, task_name: str, *, frames: int = 1000,
                  arrival_model: str = "periodic", jitter_ms: float = 0.0,
+                 device: Any = None,
                  **overrides: Any) -> "StreamSpec":
         """Build the stream of one ADAS task from the built-in library.
 
@@ -258,10 +269,18 @@ class StreamSpec:
             frames: number of frames to stream.
             arrival_model: arrival model name (see :class:`ArrivalSpec`).
             jitter_ms: jitter half-width for the ``"jittered"`` model.
+            device: optional device the task runs on — a
+                :class:`~repro.api.platform.DeviceSpec` or a preset name
+                from :data:`~repro.api.platform.DEVICE_PRESETS`.  The
+                device's simulated GPU replaces the run's default, so
+                per-frame service times reflect the heterogeneous
+                hardware (the default keeps the paper's GPGPU-Sim
+                platform).
             **overrides: any further :class:`StreamSpec` fields.
 
         Raises:
-            ConfigurationError: for unknown task names.
+            ConfigurationError: for unknown task names, device preset
+                names, or device objects of the wrong type.
         """
         from repro.workloads.adas import ADAS_TASKS
 
@@ -276,6 +295,18 @@ class StreamSpec:
             KernelSpec.from_descriptor(kd) for kd in task.kernels
         ))
         run = RunSpec(workload=workload, policy=task.policy)
+        if device is not None:
+            # imported lazily: repro.api.platform depends on this module
+            from repro.api.platform import DeviceSpec
+
+            if isinstance(device, str):
+                device = DeviceSpec(name=device, preset=device)
+            elif not isinstance(device, DeviceSpec):
+                raise ConfigurationError(
+                    "device must be a DeviceSpec or a preset name, "
+                    f"got {device!r}"
+                )
+            run = replace(run, gpu=device.gpu_spec())
         spec = cls(
             run=run,
             arrival=ArrivalSpec(model=arrival_model,
@@ -284,6 +315,7 @@ class StreamSpec:
             frames=frames,
             deadline_ms=task.ftti.milliseconds,
             tag=task.name,
+            asil=task.asil.name,
         )
         return replace(spec, **overrides) if overrides else spec
 
@@ -324,6 +356,7 @@ class StreamSpec:
             "window_ms": self.window_ms,
             "seed": self.seed,
             "tag": self.tag,
+            "asil": self.asil,
         }
 
     @classmethod

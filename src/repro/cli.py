@@ -35,6 +35,13 @@ Continuous frame streams (:mod:`repro.streams`)::
     python -m repro stream run --spec stream.json --out report.json
     python -m repro stream report --report report.json
 
+Multi-device vehicle platforms (:mod:`repro.platform`)::
+
+    python -m repro platform plan --spec platform.json
+    python -m repro platform run --spec platform.json --workers 4 --json
+    python -m repro platform run --spec platform.json --out report.json
+    python -m repro platform report --report report.json
+
 Options: ``--sms N`` changes the GPU size for the simulated artifacts,
 ``--benchmark NAME`` selects the workload for ``coverage``;
 ``python -m repro --version`` prints the package version.
@@ -58,12 +65,14 @@ from repro.analysis.experiments import (
     policy_fit_matrix,
     sm_count_sweep,
 )
+from repro.analysis.platform import platform_summary_rows
 from repro.analysis.report import render_table
 from repro.analysis.streams import stream_summary_rows
 from repro.api.artifact import RunArtifact
 from repro.api.campaign import CampaignSpec
 from repro.api.engine import Engine
 from repro.api.scenarios import get_scenario, scenario_names
+from repro.api.platform import PlatformSpec
 from repro.api.spec import RunSpec
 from repro.api.stream import StreamSpec
 from repro.campaigns import (
@@ -78,6 +87,9 @@ from repro.errors import CampaignError, ConfigurationError, ReproError
 from repro.faults.campaign import CampaignReport
 from repro.gpu.config import GPUConfig
 from repro.iso26262.decomposition import FIGURE1_EXAMPLES
+from repro.platform.placement import plan_placement
+from repro.platform.report import PlatformReport
+from repro.platform.runner import run_platform
 from repro.streams.report import StreamReport
 from repro.streams.runner import run_stream
 
@@ -444,6 +456,86 @@ def _cmd_stream(args: argparse.Namespace) -> str:
     return _stream_report_text(report, as_json=args.json)
 
 
+# ----------------------------------------------------------------------
+# platforms: platform run / plan / report
+# ----------------------------------------------------------------------
+def _load_platform_spec(path: str) -> PlatformSpec:
+    """Load one PlatformSpec JSON file."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read spec file {path!r}: {exc}")
+    return PlatformSpec.from_json(text)
+
+
+def _platform_report_text(report: PlatformReport, *, as_json: bool) -> str:
+    if as_json:
+        return report.to_json(indent=2)
+    return render_table(
+        ["metric", "value"],
+        platform_summary_rows(report),
+        title=f"Platform report — {report.label} ({report.spec_hash})",
+    )
+
+
+def _cmd_platform(args: argparse.Namespace) -> str:
+    if args.platform_command == "run":
+        spec = _load_platform_spec(args.spec)
+        if args.frames is not None:
+            if args.frames < 1:
+                raise ConfigurationError("--frames must be >= 1")
+            from dataclasses import replace
+
+            spec = replace(spec, tasks=tuple(
+                replace(task, frames=args.frames) for task in spec.tasks
+            ))
+        report = run_platform(spec, workers=args.workers)
+        if args.out:
+            try:
+                Path(args.out).write_text(report.to_json(indent=2) + "\n")
+            except OSError as exc:
+                raise ConfigurationError(
+                    f"cannot write report file {args.out!r}: {exc}"
+                )
+        return _platform_report_text(report, as_json=args.json)
+    if args.platform_command == "plan":
+        spec = _load_platform_spec(args.spec)
+        plan = plan_placement(spec)
+        if args.json:
+            return json.dumps(plan.to_dict(), sort_keys=True, indent=2)
+        rows = [
+            [task, device,
+             f"{plan.demands[task].utilisation:.4f}",
+             f"{plan.demands[task].service_ms:.4f}",
+             f"{plan.demands[task].protocol_ms:.4f}"]
+            for task, device in plan.assignments
+        ]
+        rows += [
+            ["(device total)", name, f"{util:.4f}", "-", "-"]
+            for name, util in sorted(plan.device_utilisation.items())
+        ]
+        return render_table(
+            ["task", "device", "utilisation", "service(ms)", "protocol(ms)"],
+            rows,
+            title=f"Placement plan — {spec.label} [{plan.policy}]",
+        )
+    # report: render a previously saved PlatformReport JSON file
+    try:
+        text = Path(args.report).read_text()
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read report file {args.report!r}: {exc}"
+        )
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"{args.report!r} is not valid JSON: {exc}"
+        )
+    report = PlatformReport.from_dict(data)
+    return _platform_report_text(report, as_json=args.json)
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> str:
     return render_table(
         ["scenario", "description"],
@@ -591,6 +683,45 @@ def _build_parser() -> argparse.ArgumentParser:
     sreport.add_argument("--json", action="store_true",
                          help="emit report JSON instead of a table")
 
+    platform_p = sub.add_parser(
+        "platform",
+        help="multi-device vehicle platforms with task placement",
+    )
+    platform_sub = platform_p.add_subparsers(
+        dest="platform_command", required=True, metavar="action"
+    )
+
+    prun = platform_sub.add_parser(
+        "run", help="place and execute a PlatformSpec"
+    )
+    prun.add_argument("--spec", required=True,
+                      help="path to a PlatformSpec JSON file")
+    prun.add_argument("--frames", type=int, default=None,
+                      help="override every task's frame count")
+    prun.add_argument("--workers", type=int, default=1,
+                      help="process-pool size, one pool task per device "
+                           "(default 1; never changes the report)")
+    prun.add_argument("--out", default=None,
+                      help="also write the report JSON to this file")
+    prun.add_argument("--json", action="store_true",
+                      help="emit report JSON instead of a table")
+
+    pplan = platform_sub.add_parser(
+        "plan", help="show the placement decision without executing"
+    )
+    pplan.add_argument("--spec", required=True,
+                       help="path to a PlatformSpec JSON file")
+    pplan.add_argument("--json", action="store_true",
+                       help="emit plan JSON instead of a table")
+
+    preport = platform_sub.add_parser(
+        "report", help="render a previously saved platform report"
+    )
+    preport.add_argument("--report", required=True,
+                         help="path to a PlatformReport JSON file")
+    preport.add_argument("--json", action="store_true",
+                         help="emit report JSON instead of a table")
+
     return parser
 
 
@@ -608,6 +739,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(_cmd_campaign(args))
         elif args.command == "stream":
             print(_cmd_stream(args))
+        elif args.command == "platform":
+            print(_cmd_platform(args))
         elif args.command == "all":
             print("\n\n".join(
                 _COMMANDS[name](args) for name in sorted(_COMMANDS)

@@ -90,3 +90,27 @@ class StreamError(ReproError):
     to execute), reading a latency quantile before any frame completed, or
     feeding the windowed-rate fold completions that go backwards in time.
     """
+
+
+class PlatformError(ReproError):
+    """A vehicle-platform simulation was configured or placed impossibly.
+
+    Examples: a placement policy that cannot fit a task stream on any
+    device without exceeding its utilisation capacity (the message names
+    the unplaceable task), a ``pinned`` placement whose pins do not cover
+    every task, or a pin naming a device the platform does not have.
+    """
+
+
+class WorkerCountError(ConfigurationError, StreamError, ValueError):
+    """A parallel executor was handed a non-positive worker count.
+
+    Raised eagerly — before any process pool is created — by
+    :meth:`repro.api.engine.Engine.run_many`,
+    :func:`repro.streams.jobs.resolve_jobs` and
+    :func:`repro.platform.runner.run_platform`.  Subclasses both the
+    legacy per-subsystem types (:class:`ConfigurationError`,
+    :class:`StreamError`) and :class:`ValueError`, so existing handlers
+    keep working while plain ``except ValueError`` callers see the bad
+    argument for what it is.
+    """

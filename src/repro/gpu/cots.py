@@ -24,12 +24,19 @@ are grouped in :class:`COTSDevice` with GTX-1050-Ti-flavoured defaults.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.workloads.rodinia import COTSProfile, RodiniaBenchmark
 
-__all__ = ["COTSDevice", "EndToEndBreakdown", "cots_end_to_end"]
+__all__ = [
+    "COTSDevice",
+    "COTS_DEVICE_PRESETS",
+    "cots_device_preset",
+    "protocol_overhead_ms",
+    "EndToEndBreakdown",
+    "cots_end_to_end",
+]
 
 
 @dataclass(frozen=True)
@@ -70,6 +77,79 @@ class COTSDevice:
     def transfer_ms(self, megabytes: float, gbps: float) -> float:
         """Milliseconds to move ``megabytes`` at ``gbps`` GB/s."""
         return megabytes / gbps / 1e3 * 1e3  # MB / (GB/s) = ms
+
+
+#: Named host/device parameter sets for the vehicle-platform layer
+#: (:mod:`repro.platform`): the paper's GTX-1050-Ti-flavoured defaults
+#: plus a faster discrete card on a PCIe 4.0 link and a slower
+#: embedded/integrated part — the heterogeneous fleet a real vehicle
+#: platform mixes.
+COTS_DEVICE_PRESETS: Dict[str, COTSDevice] = {
+    "gtx1050ti": COTSDevice(),
+    "pcie4-discrete": COTSDevice(
+        h2d_gbps=12.0,
+        d2h_gbps=12.0,
+        launch_overhead_ms=0.004,
+        alloc_ms=0.08,
+        free_ms=0.0,
+        compare_gbps=8.0,
+        sync_overhead_ms=0.01,
+    ),
+    "embedded-igpu": COTSDevice(
+        h2d_gbps=2.5,
+        d2h_gbps=2.5,
+        launch_overhead_ms=0.02,
+        alloc_ms=0.4,
+        free_ms=0.0,
+        compare_gbps=1.5,
+        sync_overhead_ms=0.05,
+    ),
+}
+
+
+def cots_device_preset(name: str) -> COTSDevice:
+    """Look up one :data:`COTS_DEVICE_PRESETS` entry.
+
+    Raises:
+        ConfigurationError: for unknown preset names.
+    """
+    try:
+        return COTS_DEVICE_PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown COTS device preset {name!r}; "
+            f"known: {', '.join(sorted(COTS_DEVICE_PRESETS))}"
+        ) from None
+
+
+def protocol_overhead_ms(device: COTSDevice, *, input_mb: float,
+                         output_mb: float, n_launches: int,
+                         copies: int = 1) -> float:
+    """Per-frame GPU-protocol overhead of one offload on ``device``.
+
+    The host-side cost a frame pays on top of its simulated kernel time:
+    transfers, launch commands and serialization barriers (each paid
+    ``copies`` times) plus the DCLS output comparison between copies.
+    This is the kernel-chain analogue of :func:`cots_end_to_end` (which
+    works from a benchmark's measured :class:`COTSProfile`), used by
+    :mod:`repro.platform` to make per-device service times reflect the
+    device's interconnect and launch costs.
+    """
+    if copies < 1:
+        raise ConfigurationError("protocol overhead needs copies >= 1")
+    if min(input_mb, output_mb) < 0 or n_launches < 0:
+        raise ConfigurationError(
+            "transfer sizes and launch counts cannot be negative"
+        )
+    per_copy = (
+        device.transfer_ms(input_mb, device.h2d_gbps)
+        + device.transfer_ms(output_mb, device.d2h_gbps)
+        + n_launches * (device.launch_overhead_ms + device.sync_overhead_ms)
+    )
+    compare = (
+        device.transfer_ms(output_mb, device.compare_gbps) * (copies - 1)
+    )
+    return copies * per_copy + compare
 
 
 @dataclass(frozen=True)

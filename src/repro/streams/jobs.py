@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.api.spec import RunSpec, WorkloadSpec
 from repro.api.stream import StreamSpec
-from repro.errors import StreamError
+from repro.errors import StreamError, WorkerCountError
 from repro.faults.campaign import FaultCampaign
 from repro.redundancy.manager import RedundantKernelManager, RedundantRunResult
 
@@ -106,11 +106,13 @@ def resolve_jobs(spec: StreamSpec, *, workers: int = 1,
         One :class:`JobProfile` per rotation slot, in rotation order.
 
     Raises:
-        StreamError: when a workload resolves to no kernels, or for an
-            invalid worker count.
+        StreamError: when a workload resolves to no kernels.
+        WorkerCountError: for ``workers < 1`` — a :class:`ValueError`
+            raised before any pool is created, never passed through to
+            the executor.
     """
     if workers < 1:
-        raise StreamError("workers must be >= 1")
+        raise WorkerCountError(f"workers must be >= 1, got {workers!r}")
     rotation = list(spec.workload_mix) or [spec.run.workload]
     run_specs = [_job_run_spec(spec, workload) for workload in rotation]
     # first occurrence of each distinct job, in rotation order

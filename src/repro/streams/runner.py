@@ -51,6 +51,7 @@ DEFAULT_CHUNK_FRAMES = 65536
 
 def run_stream(spec: StreamSpec, *, workers: int = 1,
                chunk_frames: int = DEFAULT_CHUNK_FRAMES,
+               service_offset_ms: float = 0.0,
                validate: bool = True) -> StreamReport:
     """Execute one open-loop frame stream and fold its online report.
 
@@ -61,6 +62,11 @@ def run_stream(spec: StreamSpec, *, workers: int = 1,
         chunk_frames: frame-loop batch size (arrival generation is
             batched in chunks of this many frames); never changes the
             report.
+        service_offset_ms: fixed extra service time every frame pays on
+            top of its simulated makespan (re-executions pay it again).
+            :mod:`repro.platform` uses it to charge each device's COTS
+            protocol overhead; the ``0.0`` default leaves single-stream
+            reports untouched.
         validate: forward the simulator's trace-validation switch.
 
     Returns:
@@ -69,11 +75,13 @@ def run_stream(spec: StreamSpec, *, workers: int = 1,
         ``chunk_frames`` configuration.
 
     Raises:
-        StreamError: for invalid worker/chunk counts or workloads that
-            resolve to no kernels.
+        StreamError: for invalid worker/chunk counts, a negative service
+            offset, or workloads that resolve to no kernels.
     """
     if chunk_frames < 1:
         raise StreamError("chunk_frames must be >= 1")
+    if service_offset_ms < 0:
+        raise StreamError("service_offset_ms cannot be negative")
     profiles = resolve_jobs(spec, workers=workers, validate=validate)
     policy = profiles[0].run.sim.scheduler_name
     deadline = spec.effective_deadline_ms
@@ -114,7 +122,7 @@ def run_stream(spec: StreamSpec, *, workers: int = 1,
                 continue
 
             profile = profiles[frame % n_jobs]
-            service = profile.service_ms
+            service = profile.service_ms + service_offset_ms
             busy = profile.busy_ms
             if faults is not None:
                 rng = frame_substream(spec.seed, "fault", frame)
@@ -132,7 +140,7 @@ def run_stream(spec: StreamSpec, *, workers: int = 1,
                     if outcome is FaultOutcome.DETECTED:
                         detected += 1
                         re_executions += 1
-                        service += profile.service_ms
+                        service += profile.service_ms + service_offset_ms
                         busy += profile.busy_ms
                     elif outcome is FaultOutcome.SDC:
                         sdc += 1

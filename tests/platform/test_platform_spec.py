@@ -1,0 +1,184 @@
+"""Tests for the platform specs (repro.api.platform) and device presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RunSpec, StreamSpec, WorkloadSpec
+from repro.api.platform import (
+    DEVICE_PRESETS,
+    PLACEMENT_POLICIES,
+    DeviceSpec,
+    PlacementSpec,
+    PlatformSpec,
+)
+from repro.errors import ConfigurationError
+from repro.gpu.cots import COTS_DEVICE_PRESETS, cots_device_preset
+from repro.streams.jobs import resolve_jobs
+
+
+def _task(name: str, **overrides) -> StreamSpec:
+    return StreamSpec.for_task(name, frames=100, **overrides)
+
+
+def _platform(**kwargs) -> PlatformSpec:
+    defaults = dict(
+        devices=(DeviceSpec(name="gpu0"),
+                 DeviceSpec(name="gpu1", preset="embedded-igpu")),
+        tasks=(_task("camera-perception"), _task("radar-cfar")),
+    )
+    defaults.update(kwargs)
+    return PlatformSpec(**defaults)
+
+
+class TestDeviceSpec:
+    def test_presets_cover_a_faster_and_slower_pair(self):
+        assert set(DEVICE_PRESETS) == set(COTS_DEVICE_PRESETS)
+        assert {"gtx1050ti", "pcie4-discrete", "embedded-igpu"} <= set(
+            DEVICE_PRESETS
+        )
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec(name="gpu0", preset="tpu")
+        with pytest.raises(ConfigurationError):
+            cots_device_preset("tpu")
+
+    def test_presetless_device_needs_explicit_gpu(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec(name="gpu0", preset=None)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec(name="gpu0", capacity=0.0)
+
+    def test_preset_resolves_gpu_and_cots(self):
+        dev = DeviceSpec(name="gpu0", preset="embedded-igpu")
+        assert dev.gpu_spec().to_config().name == "embedded-igpu"
+        assert dev.cots_device() == COTS_DEVICE_PRESETS["embedded-igpu"]
+
+    def test_round_trip(self):
+        dev = DeviceSpec(name="gpu0", preset="pcie4-discrete", capacity=0.8)
+        assert DeviceSpec.from_dict(dev.to_dict()) == dev
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec.from_dict({"name": "gpu0", "vram": 4096})
+
+
+class TestPlacementSpec:
+    def test_policies(self):
+        for policy in PLACEMENT_POLICIES:
+            assert PlacementSpec(policy=policy).policy == policy
+        with pytest.raises(ConfigurationError):
+            PlacementSpec(policy="random")
+
+    def test_pins_canonicalised_and_round_trip(self):
+        spec = PlacementSpec(pins=(("b", "gpu1"), ("a", "gpu0")))
+        assert spec.pins == (("a", "gpu0"), ("b", "gpu1"))
+        assert PlacementSpec.from_dict(spec.to_dict()) == spec
+        assert spec.pin_map == {"a": "gpu0", "b": "gpu1"}
+
+    def test_conflicting_pins_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlacementSpec(pins=(("a", "gpu0"), ("a", "gpu1")))
+
+    def test_duplicate_identical_pins_deduped(self):
+        spec = PlacementSpec(pins=(("a", "gpu0"), ("a", "gpu0")))
+        assert spec.pins == (("a", "gpu0"),)
+        assert PlacementSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestPlatformSpec:
+    def test_round_trip(self):
+        spec = _platform(placement=PlacementSpec(
+            policy="pinned",
+            pins=(("camera-perception", "gpu0"), ("radar-cfar", "gpu1")),
+        ), tag="rt")
+        assert PlatformSpec.from_json(spec.to_json()) == spec
+        assert len(spec.config_hash) == 16
+
+    def test_task_order_canonicalised(self):
+        t1, t2 = _task("camera-perception"), _task("radar-cfar")
+        a = _platform(tasks=(t1, t2))
+        b = _platform(tasks=(t2, t1))
+        assert a == b
+        assert a.config_hash == b.config_hash
+        assert [t.label for t in a.tasks] == sorted(
+            t.label for t in a.tasks
+        )
+
+    def test_duplicate_device_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate device"):
+            _platform(devices=(DeviceSpec(name="gpu0"),
+                               DeviceSpec(name="gpu0")))
+
+    def test_duplicate_task_labels_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate task"):
+            _platform(tasks=(_task("radar-cfar"), _task("radar-cfar")))
+
+    def test_needs_devices_and_tasks(self):
+        with pytest.raises(ConfigurationError):
+            _platform(devices=())
+        with pytest.raises(ConfigurationError):
+            _platform(tasks=())
+
+    def test_pin_to_unknown_device_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown device"):
+            _platform(placement=PlacementSpec(
+                pins=(("radar-cfar", "gpu9"),)
+            ))
+
+    def test_device_lookup(self):
+        spec = _platform()
+        assert spec.device("gpu1").preset == "embedded-igpu"
+        with pytest.raises(ConfigurationError):
+            spec.device("gpu9")
+
+
+class TestForTaskDeviceOverride:
+    def test_device_changes_service_time(self):
+        slow = StreamSpec.for_task("radar-cfar", device="embedded-igpu")
+        fast = StreamSpec.for_task("radar-cfar", device="pcie4-discrete")
+        assert slow.run.gpu.to_config().name == "embedded-igpu"
+        slow_ms = resolve_jobs(slow)[0].service_ms
+        fast_ms = resolve_jobs(fast)[0].service_ms
+        assert slow_ms > fast_ms
+
+    def test_device_spec_object_accepted(self):
+        dev = DeviceSpec(name="d", preset="pcie4-discrete")
+        spec = StreamSpec.for_task("radar-cfar", device=dev)
+        assert spec.run.gpu == dev.gpu_spec()
+
+    def test_default_keeps_paper_platform(self):
+        spec = StreamSpec.for_task("radar-cfar")
+        assert spec.run.gpu.preset == "gpgpusim"
+
+    def test_bad_device_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamSpec.for_task("radar-cfar", device="tpu")
+        with pytest.raises(ConfigurationError):
+            StreamSpec.for_task("radar-cfar", device=42)
+
+
+class TestStreamAsil:
+    def test_for_task_records_the_library_asil(self):
+        assert StreamSpec.for_task("camera-perception").asil == "D"
+        assert StreamSpec.for_task("trajectory-scoring").asil == "C"
+
+    def test_asil_is_canonicalised_and_round_trips(self):
+        spec = StreamSpec(
+            run=RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                        policy="srrs"),
+            frames=10, asil="asil-d",
+        )
+        assert spec.asil == "D"
+        assert StreamSpec.from_dict(spec.to_dict()) == spec
+
+    def test_invalid_asil_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamSpec(
+                run=RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                            policy="srrs"),
+                frames=10, asil="E",
+            )

@@ -1,0 +1,63 @@
+"""Worker-count validation: one typed error, visible as a ValueError."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RunSpec, StreamSpec, WorkloadSpec
+from repro.api.engine import Engine
+from repro.api.platform import DeviceSpec, PlatformSpec
+from repro.errors import (
+    ConfigurationError,
+    StreamError,
+    WorkerCountError,
+)
+from repro.platform.runner import run_platform
+from repro.streams.jobs import resolve_jobs
+from repro.streams.runner import run_stream
+
+
+def _stream() -> StreamSpec:
+    return StreamSpec(
+        run=RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                    policy="srrs"),
+        frames=50,
+    )
+
+
+def _platform() -> PlatformSpec:
+    return PlatformSpec(devices=(DeviceSpec(name="gpu0"),),
+                        tasks=(_stream(),))
+
+
+class TestWorkerCountError:
+    def test_is_a_value_error_and_keeps_legacy_bases(self):
+        assert issubclass(WorkerCountError, ValueError)
+        assert issubclass(WorkerCountError, ConfigurationError)
+        assert issubclass(WorkerCountError, StreamError)
+
+    @pytest.mark.parametrize("workers", [0, -1])
+    def test_engine_run_many_rejects_eagerly(self, workers):
+        with pytest.raises(ValueError, match=">= 1"):
+            Engine().run_many([], workers=workers)
+
+    def test_engine_stream_rejects_at_call_time(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            Engine().stream([], workers=0)
+
+    @pytest.mark.parametrize("workers", [0, -3])
+    def test_resolve_jobs_rejects(self, workers):
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_jobs(_stream(), workers=workers)
+
+    def test_run_stream_rejects(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            run_stream(_stream(), workers=0)
+
+    def test_run_platform_rejects(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            run_platform(_platform(), workers=0)
+
+    def test_message_names_the_offending_value(self):
+        with pytest.raises(WorkerCountError, match="got -2"):
+            Engine().run_many([], workers=-2)

@@ -15,7 +15,7 @@ from repro.errors import ReproError
 
 class TestTopLevelSurface:
     def test_version(self):
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
@@ -28,6 +28,7 @@ class TestTopLevelSurface:
         import repro.gpu.scheduler
         import repro.host
         import repro.iso26262
+        import repro.platform
         import repro.redundancy
         import repro.streams
         import repro.workloads
@@ -35,7 +36,7 @@ class TestTopLevelSurface:
         for module in (
             repro.gpu, repro.gpu.scheduler, repro.redundancy,
             repro.iso26262, repro.faults, repro.workloads, repro.host,
-            repro.analysis, repro.streams,
+            repro.analysis, repro.streams, repro.platform,
         ):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name}"
@@ -54,7 +55,8 @@ class TestErrorHierarchy:
     @pytest.mark.parametrize("name", [
         "ConfigurationError", "SchedulingError", "SimulationError",
         "CapacityError", "RedundancyError", "SafetyViolation",
-        "FaultInjectionError", "StreamError",
+        "FaultInjectionError", "StreamError", "PlatformError",
+        "WorkerCountError",
     ])
     def test_all_errors_derive_from_base(self, name):
         error_type = getattr(repro, name)
