@@ -33,7 +33,10 @@ Top-level packages:
 * :mod:`repro.host` — DCLS lockstep CPU, CUDA-like API, the five-step
   offload protocol;
 * :mod:`repro.analysis` — experiment runners regenerating every paper
-  figure, and report rendering.
+  figure, and report rendering;
+* :mod:`repro.lint` — AST-based determinism-contract checker (rule
+  engine, RL001…RL008 catalogue, inline suppressions, CI gate) keeping
+  the bit-identity promise machine-enforced (``docs/LINT.md``).
 
 Quickstart — one declarative run::
 
@@ -65,6 +68,7 @@ from repro.errors import (
     CapacityError,
     ConfigurationError,
     FaultInjectionError,
+    LintError,
     PlatformError,
     RedundancyError,
     ReproError,
@@ -100,7 +104,7 @@ from repro.redundancy import (
 )
 from repro.workloads import classify_kernel, get_benchmark
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 # the api and campaigns packages import repro.__version__ lazily at run
 # time, so these imports must stay below the version assignment
@@ -148,6 +152,7 @@ __all__ = [
     "StreamError",
     "PlatformError",
     "WorkerCountError",
+    "LintError",
     # gpu
     "GPUConfig",
     "SMConfig",

@@ -42,6 +42,16 @@ Multi-device vehicle platforms (:mod:`repro.platform`)::
     python -m repro platform run --spec platform.json --out report.json
     python -m repro platform report --report report.json
 
+Determinism-contract linter (:mod:`repro.lint`)::
+
+    python -m repro lint                            # lint src/repro
+    python -m repro lint --json src/repro           # machine-readable
+    python -m repro lint --rule RL002 src/repro     # one rule only
+    python -m repro lint --config repro-lint.toml src/repro
+
+``lint`` exits 1 when violations are found (the CI gate) and 2 when the
+linter itself is misconfigured.
+
 Options: ``--sms N`` changes the GPU size for the simulated artifacts,
 ``--benchmark NAME`` selects the workload for ``coverage``;
 ``python -m repro --version`` prints the package version.
@@ -83,8 +93,14 @@ from repro.campaigns import (
     run_campaign,
     validated_records,
 )
-from repro.errors import CampaignError, ConfigurationError, ReproError
+from repro.errors import (
+    CampaignError,
+    ConfigurationError,
+    LintError,
+    ReproError,
+)
 from repro.faults.campaign import CampaignReport
+from repro.lint import load_config, run_lint
 from repro.gpu.config import GPUConfig
 from repro.iso26262.decomposition import FIGURE1_EXAMPLES
 from repro.platform.placement import plan_placement
@@ -536,6 +552,20 @@ def _cmd_platform(args: argparse.Namespace) -> str:
     return _platform_report_text(report, as_json=args.json)
 
 
+# ----------------------------------------------------------------------
+# determinism linter: lint
+# ----------------------------------------------------------------------
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the determinism linter; print the report, return the exit code."""
+    config = load_config(args.config)
+    report = run_lint(args.paths, config=config, rule_ids=args.rule or None)
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> str:
     return render_table(
         ["scenario", "description"],
@@ -597,6 +627,21 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="emit full artifact JSON instead of a table")
 
     sub.add_parser("scenarios", help="list the registered scenarios")
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="statically check the determinism contract (repro.lint)",
+    )
+    lint_p.add_argument("paths", nargs="*", default=["src/repro"],
+                        metavar="PATH",
+                        help="files/directories to lint (default src/repro)")
+    lint_p.add_argument("--rule", action="append", metavar="RLnnn",
+                        help="run only this rule (repeatable)")
+    lint_p.add_argument("--config", default=None,
+                        help="lint config file (default: repro-lint.toml "
+                             "in the working directory, if present)")
+    lint_p.add_argument("--json", action="store_true",
+                        help="emit the stable JSON report schema")
 
     campaign_p = sub.add_parser(
         "campaign",
@@ -729,6 +774,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     try:
+        if args.command == "lint":
+            # lint prints its own report; exit 1 = violations, 2 = misuse
+            return _cmd_lint(args)
         if args.command == "run":
             print(_cmd_run(args))
         elif args.command == "batch":
@@ -747,6 +795,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ))
         else:
             print(_COMMANDS[args.command](args))
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -102,6 +102,17 @@ class PlatformError(ReproError):
     """
 
 
+class LintError(ReproError):
+    """The determinism linter (:mod:`repro.lint`) was misused.
+
+    Examples: an unknown rule ID passed to ``--rule``, a lint target
+    that does not exist, or a ``repro-lint.toml`` line outside the
+    accepted TOML subset.  Contract *violations* are not errors — they
+    are the linter's report — so this type only covers misconfiguration
+    of the linter itself.
+    """
+
+
 class WorkerCountError(ConfigurationError, StreamError, ValueError):
     """A parallel executor was handed a non-positive worker count.
 

@@ -162,6 +162,7 @@ class DCLSProcessor:
         self._elapsed_ms += op.duration_ms
         self._log.append(op.name)
         if result_a != result_b:
+            # repro-lint: allow[RL005] LockstepError models a detected hardware event, deliberately outside ReproError (see class docstring)
             raise LockstepError(
                 f"lockstep divergence in {op.name!r}: cores disagree "
                 f"(detected after {self._config.checker_latency_cycles} cycles)"

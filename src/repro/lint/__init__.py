@@ -1,0 +1,62 @@
+"""``repro.lint`` — AST-based determinism-contract checker.
+
+Every subsystem in this repository promises bit-identical reports and
+digests across worker counts, shard boundaries and declaration order.
+This package enforces that promise *statically*: a rule engine walks the
+source tree and fails on contract violations — module-global randomness,
+wall-clock reads, unordered folds in digest paths, mutable specs, raises
+outside the :class:`~repro.errors.ReproError` hierarchy, non-picklable
+pool callables, salted ``hash()`` and filesystem-order dependence — so a
+regression is caught at lint time instead of (maybe) by an equivalence
+test sampling a few configurations.
+
+Entry points::
+
+    from repro.lint import run_lint
+    report = run_lint(["src/repro"])
+    assert report.ok
+
+or from a shell / CI::
+
+    python -m repro lint [--json] [--rule RLnnn] [paths...]
+
+The rule catalogue, suppression syntax (``# repro-lint: allow[RLnnn]
+reason``) and config scoping are documented in ``docs/LINT.md``.
+"""
+
+from repro.lint.config import (
+    DEFAULT_CONFIG_FILE,
+    LintConfig,
+    RuleScope,
+    load_config,
+    parse_config,
+)
+from repro.lint.engine import expand_targets, lint_file, run_lint
+from repro.lint.reporting import JSON_SCHEMA_VERSION, LintReport, Violation
+from repro.lint.rules import ALL_RULES, RULE_IDS, Rule, rules_by_id
+from repro.lint.suppressions import (
+    FileSuppressions,
+    Suppression,
+    collect_suppressions,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_CONFIG_FILE",
+    "FileSuppressions",
+    "JSON_SCHEMA_VERSION",
+    "LintConfig",
+    "LintReport",
+    "RULE_IDS",
+    "Rule",
+    "RuleScope",
+    "Suppression",
+    "Violation",
+    "collect_suppressions",
+    "expand_targets",
+    "lint_file",
+    "load_config",
+    "parse_config",
+    "rules_by_id",
+    "run_lint",
+]

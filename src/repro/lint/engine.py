@@ -1,0 +1,127 @@
+"""Lint engine: expand targets, parse, run rules, apply suppressions.
+
+:func:`run_lint` is the single entry point used by the CLI, the CI gate
+and the tests.  It is itself held to the contract it enforces: target
+expansion sorts every directory scan, the produced
+:class:`~repro.lint.reporting.LintReport` is canonical (sorted,
+deduplicated), and nothing here reads clocks, environment variables or
+global randomness — ``repro lint src/repro`` lints its own engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import LintError
+from repro.lint.config import LintConfig
+from repro.lint.reporting import LintReport, Violation
+from repro.lint.rules import FileContext, RULE_IDS, rules_by_id
+from repro.lint.suppressions import collect_suppressions
+
+__all__ = ["expand_targets", "lint_file", "run_lint"]
+
+
+def expand_targets(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list.
+
+    Args:
+        paths: files (taken verbatim) and directories (recursed).
+
+    Raises:
+        LintError: when a target does not exist, or nothing matches.
+    """
+    files = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise LintError(f"lint target {str(path)!r} does not exist")
+    if not files:
+        raise LintError("no Python files found under the given targets")
+    return sorted(files)
+
+
+def lint_file(path: Union[str, Path], *, config: LintConfig,
+              rule_ids: Optional[Sequence[str]] = None
+              ) -> Tuple[List[Violation], int]:
+    """Lint one file.
+
+    Suppressed violations are dropped (and counted); malformed or unused
+    suppressions come back as ``RL000`` violations, as does a file that
+    fails to parse — the engine never crashes on a broken target, CI
+    needs the file:line anchor, not a traceback.
+
+    Args:
+        path: the file to lint.
+        config: per-rule path scoping.
+        rule_ids: restrict to these rule IDs (all rules when ``None``).
+
+    Returns:
+        ``(violations, suppressed_count)`` for this file.
+    """
+    label = str(path)
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return ([Violation(file=label, line=1, col=0, rule="RL000",
+                           message=f"cannot read file: {exc}")], 0)
+    try:
+        tree = ast.parse(source, filename=label)
+    except SyntaxError as exc:
+        return ([Violation(file=label, line=exc.lineno or 1,
+                           col=(exc.offset or 1) - 1, rule="RL000",
+                           message=f"syntax error: {exc.msg}")], 0)
+
+    ctx = FileContext.build(label, tree)
+    suppressions = collect_suppressions(label, source, RULE_IDS)
+    kept: List[Violation] = list(suppressions.problems)
+    suppressed = 0
+    ran: List[str] = []
+    for rule in rules_by_id(rule_ids):
+        if not config.applies(rule.id, label):
+            continue
+        ran.append(rule.id)
+        for violation in rule.check(ctx):
+            if suppressions.is_suppressed(violation.line, rule.id):
+                suppressed += 1
+            else:
+                kept.append(violation)
+    kept.extend(suppressions.unused(frozenset(ran)))
+    return kept, suppressed
+
+
+def run_lint(paths: Sequence[Union[str, Path]], *,
+             config: Optional[LintConfig] = None,
+             rule_ids: Optional[Sequence[str]] = None) -> LintReport:
+    """Lint every Python file under ``paths`` into one canonical report.
+
+    Args:
+        paths: files and/or directories to lint.
+        config: per-rule scoping; defaults to :meth:`LintConfig.default`.
+        rule_ids: restrict the run to these rule IDs.
+
+    Returns:
+        A :class:`~repro.lint.reporting.LintReport`; ``report.ok`` is
+        the CI gate.
+
+    Raises:
+        LintError: for unknown rule IDs or unresolvable targets.
+    """
+    cfg = config if config is not None else LintConfig.default()
+    rules_by_id(rule_ids)  # validate the filter before touching files
+    files = expand_targets(paths)
+    violations: List[Violation] = []
+    suppressed = 0
+    for path in files:
+        file_violations, file_suppressed = lint_file(
+            path, config=cfg, rule_ids=rule_ids
+        )
+        violations.extend(file_violations)
+        suppressed += file_suppressed
+    return LintReport.build(violations, checked_files=len(files),
+                            suppressed=suppressed)

@@ -1,0 +1,106 @@
+"""Violation records and report rendering for :mod:`repro.lint`.
+
+A lint run produces a :class:`LintReport` — an ordered, canonical
+collection of :class:`Violation` records plus run-level counters.  Both
+render to text (``file:line:col RLnnn message``, the format editors and
+CI annotations understand) and to a stable JSON schema (``version`` 1)
+so downstream tooling can parse reports without scraping text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Sequence, Tuple
+
+__all__ = ["Violation", "LintReport", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+"""Version of the ``--json`` report schema; bumped on breaking changes."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One determinism-contract violation anchored to a source location.
+
+    Attributes:
+        file: path of the offending file, as given to the engine.
+        line: 1-based line number of the offending node or comment.
+        col: 0-based column offset (matches ``ast`` conventions).
+        rule: stable rule identifier (``RL001`` … ``RL008``, or ``RL000``
+            for engine-level problems such as malformed suppressions).
+        message: human-readable description of what violated the contract.
+    """
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        """Canonical ordering: by file, then location, then rule."""
+        return (self.file, self.line, self.col, self.rule, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping with deterministic key content."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One-line text form: ``file:line:col RLnnn message``."""
+        return f"{self.file}:{self.line}:{self.col} {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run over a set of files.
+
+    Attributes:
+        violations: canonical (sorted) violation tuple.
+        checked_files: number of Python files analysed.
+        suppressed: number of violations silenced by inline suppressions.
+    """
+
+    violations: Tuple[Violation, ...]
+    checked_files: int
+    suppressed: int
+
+    @property
+    def ok(self) -> bool:
+        """True when the run found no violations (CI gate passes)."""
+        return not self.violations
+
+    @classmethod
+    def build(cls, violations: Sequence[Violation], *, checked_files: int,
+              suppressed: int) -> "LintReport":
+        """Canonicalise ``violations`` (sorted, deduplicated) into a report."""
+        unique = sorted(set(violations), key=Violation.sort_key)
+        return cls(violations=tuple(unique), checked_files=checked_files,
+                   suppressed=suppressed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable JSON schema: version, counters, ordered violations."""
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "checked_files": self.checked_files,
+            "suppressed": self.suppressed,
+            "violation_count": len(self.violations),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def render_text(self) -> str:
+        """Multi-line text report ending in a one-line summary."""
+        lines = [v.render() for v in self.violations]
+        summary = (
+            f"repro-lint: checked {self.checked_files} file(s): "
+            + ("OK" if self.ok else f"{len(self.violations)} violation(s)")
+        )
+        if self.suppressed:
+            summary += f" ({self.suppressed} suppressed)"
+        lines.append(summary)
+        return "\n".join(lines)

@@ -115,7 +115,20 @@ def random_kernel(rng: random.Random, gpu: GPUConfig, *,
 
     Guaranteed to fit on the GPU (threads/registers/shared memory within
     a single SM's budget).
+
+    Raises:
+        ConfigurationError: when ``rng`` is not a :class:`random.Random`
+            instance — in particular when the ``random`` *module* is
+            passed, which would silently fall back to the process-global
+            RNG and break run-to-run reproducibility.
     """
+    if not isinstance(rng, random.Random):
+        kind = "the random module" if rng is random else type(rng).__name__
+        raise ConfigurationError(
+            f"random_kernel needs an explicit seeded random.Random "
+            f"instance, got {kind} — the process-global RNG is banned "
+            "(repro-lint RL001)"
+        )
     tpb = rng.choice([32, 64, 128, 192, 256, 384, 512])
     tpb = min(tpb, gpu.sm.max_threads)
     max_regs = max(1, gpu.sm.registers // tpb)

@@ -1,0 +1,8 @@
+"""RL001 positive fixture: module-global RNG use (3 violations)."""
+
+import random
+from random import choice
+
+value = random.random()
+random.seed(42)
+picked = choice([1, 2, 3])

@@ -1,0 +1,13 @@
+"""RL001 negative fixture: explicit seeded Random instances only."""
+
+import random
+
+
+def draw(rng: random.Random) -> float:
+    """One value from an explicitly seeded stream."""
+    return rng.random()
+
+
+RNG = random.Random(1234)
+VALUE = draw(RNG)
+OK = isinstance(RNG, random.Random)

@@ -1,0 +1,12 @@
+"""RL002 positive fixture: wall-clock and entropy sources (5 violations)."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+STAMP = time.time()
+NOW = datetime.now()
+TOKEN = os.urandom(8)
+RUN_ID = uuid.uuid4()
+TICKS = time.perf_counter()

@@ -1,0 +1,7 @@
+"""RL002 negative fixture: derived identifiers without clocks or entropy."""
+
+import hashlib
+from datetime import timedelta
+
+WINDOW = timedelta(milliseconds=33)
+DIGEST = hashlib.sha256(b"seed:7").hexdigest()

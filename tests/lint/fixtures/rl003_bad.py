@@ -1,0 +1,8 @@
+"""RL003 positive fixture: unordered set iteration and folds (4 violations)."""
+
+TOTAL = sum({0.1, 0.2, 0.3})
+LABELS = ", ".join({"b", "a"})
+AS_LIST = [value for value in {1, 2, 3}]
+
+for item in {"x", "y"}:
+    print(item)

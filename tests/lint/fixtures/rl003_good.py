@@ -1,0 +1,9 @@
+"""RL003 negative fixture: sets are sorted before any order can leak."""
+
+TOTAL = sum(sorted({0.1, 0.2, 0.3}))
+LABELS = ", ".join(sorted({"b", "a"}))
+AS_LIST = [value for value in sorted({1, 2, 3})]
+MEMBER = 2 in {1, 2, 3}
+
+for item in sorted({"x", "y"}):
+    print(item)

@@ -1,0 +1,26 @@
+"""RL004 positive fixture: Spec classes breaking the contract (3 violations)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MutableSpec:
+    """Not frozen — hashed provenance could silently change."""
+
+    frames: int = 1
+
+    def to_dict(self):
+        """Round-trip half exists."""
+        return {"frames": self.frames}
+
+    @classmethod
+    def from_dict(cls, data):
+        """Round-trip half exists."""
+        return cls(frames=data["frames"])
+
+
+@dataclass(frozen=True)
+class HalfSpec:
+    """Frozen but missing both halves of the dict round-trip."""
+
+    frames: int = 1

@@ -1,0 +1,23 @@
+"""RL004 negative fixture: a contract-complete Spec dataclass."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GoodSpec:
+    """Frozen and dict-round-trippable."""
+
+    frames: int = 1
+
+    def to_dict(self):
+        """JSON-ready mapping."""
+        return {"frames": self.frames}
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(frames=data["frames"])
+
+
+class NotASpecHolder:
+    """Name does not end in Spec — the rule must ignore it."""

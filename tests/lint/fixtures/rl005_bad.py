@@ -1,0 +1,15 @@
+"""RL005 positive fixture: raises outside ReproError (2 violations)."""
+
+
+class RogueError(Exception):
+    """Derives from Exception directly — escapes the uniform handlers."""
+
+
+def fail_builtin():
+    """Raise a bare builtin."""
+    raise ValueError("not a ReproError")
+
+
+def fail_local():
+    """Raise a local class with no ReproError ancestry."""
+    raise RogueError("still not a ReproError")

@@ -1,0 +1,36 @@
+"""RL005 negative fixture: every raise stays inside the hierarchy."""
+
+from repro.errors import ConfigurationError, ReproError
+
+
+class LocalError(ReproError):
+    """Module-local subclass: approved through its base."""
+
+
+class DeeperError(LocalError):
+    """Transitive module-local subclass: also approved."""
+
+
+def fail_imported():
+    """Raise an imported repro error."""
+    raise ConfigurationError("bad value")
+
+
+def fail_local():
+    """Raise the transitive local subclass."""
+    raise DeeperError("still inside the hierarchy")
+
+
+def abstract():
+    """Stdlib abstract-method idiom is allowed."""
+    raise NotImplementedError
+
+
+def reraise():
+    """Bare re-raise and variable re-raise are allowed."""
+    try:
+        fail_imported()
+    except ConfigurationError as exc:
+        if exc.args:
+            raise
+        raise exc

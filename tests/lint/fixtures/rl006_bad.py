@@ -1,0 +1,25 @@
+"""RL006 positive fixture: non-picklable pool callables (3 violations)."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_all(items):
+    """Submit work in every non-picklable way."""
+    def nested(item):
+        return item + 1
+
+    with ProcessPoolExecutor() as pool:
+        a = pool.submit(lambda item: item, items[0])
+        b = list(pool.map(nested, items))
+    return a, b
+
+
+class Runner:
+    """Holds a bound method that must not cross the fork."""
+
+    def _work(self, item):
+        return item
+
+    def run(self, pool, items):
+        """Submit the bound method (hidden instance state)."""
+        return list(pool.map(self._work, items))

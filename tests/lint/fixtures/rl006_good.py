@@ -1,0 +1,16 @@
+"""RL006 negative fixture: only module-level callables reach the pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(item):
+    """Module-level: picklable by reference."""
+    return item + 1
+
+
+def run_all(items):
+    """Submit and map the module-level function."""
+    with ProcessPoolExecutor() as pool:
+        first = pool.submit(work, items[0])
+        rest = list(pool.map(work, items))
+    return first, rest

@@ -1,0 +1,4 @@
+"""RL007 positive fixture: builtin hash() (2 violations)."""
+
+KEY = hash("label")
+PAIR = hash(("a", 1))

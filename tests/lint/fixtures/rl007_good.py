@@ -1,0 +1,6 @@
+"""RL007 negative fixture: hashlib digests and __hash__ protocol stay legal."""
+
+import hashlib
+
+KEY = hashlib.sha256(b"label").hexdigest()[:16]
+BUCKETS = {"label": 1}

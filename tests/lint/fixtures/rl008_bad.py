@@ -1,0 +1,9 @@
+"""RL008 positive fixture: fs-order and environment reads (4 violations)."""
+
+import os
+from pathlib import Path
+
+NAMES = os.listdir(".")
+FILES = list(Path(".").glob("*.py"))
+HOME = os.environ["HOME"]
+DEBUG = os.getenv("DEBUG")

@@ -1,0 +1,7 @@
+"""RL008 negative fixture: every directory scan is sorted at the call."""
+
+import os
+from pathlib import Path
+
+NAMES = sorted(os.listdir("."))
+FILES = sorted(Path(".").glob("*.py"))

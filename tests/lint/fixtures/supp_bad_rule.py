@@ -1,0 +1,5 @@
+"""Suppression fixture: unknown and malformed rule IDs are rejected."""
+
+VALUE = 1  # repro-lint: allow[RL999] no such rule
+OTHER = 2  # repro-lint: allow[bogus] not even an ID
+BROKEN = 3  # repro-lint: allowRL001 missing brackets entirely

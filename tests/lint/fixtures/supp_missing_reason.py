@@ -1,0 +1,5 @@
+"""Suppression fixture: an allow without a reason is rejected."""
+
+import time
+
+T0 = time.perf_counter()  # repro-lint: allow[RL002]

@@ -1,0 +1,8 @@
+"""Suppression fixture: justified allows silence their violations."""
+
+import time
+
+T0 = time.perf_counter()  # repro-lint: allow[RL002] wall time feeds a local log only
+
+# repro-lint: allow[RL002] standalone comments cover the next code line
+T1 = time.perf_counter()

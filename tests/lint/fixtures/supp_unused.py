@@ -1,0 +1,3 @@
+"""Suppression fixture: an allow that silences nothing is flagged."""
+
+VALUE = 1  # repro-lint: allow[RL007] nothing to suppress here

@@ -1,0 +1,85 @@
+"""TOML-subset config parsing and path-scope semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import LintConfig, RuleScope, load_config, parse_config
+
+
+class TestRuleScope:
+    def test_default_scope_matches_everything(self):
+        assert RuleScope().matches("src/repro/cli.py")
+
+    def test_include_globs_are_posix_fnmatch(self):
+        scope = RuleScope(include=("*/report.py",))
+        assert scope.matches("src/repro/platform/report.py")
+        assert not scope.matches("src/repro/cli.py")
+
+    def test_exclude_wins_over_include(self):
+        scope = RuleScope(include=("*",), exclude=("*/cli.py",))
+        assert not scope.matches("src/repro/cli.py")
+
+
+class TestParseConfig:
+    def test_parses_sections_and_arrays(self):
+        config = parse_config(
+            "# comment\n"
+            "[rule.RL003]\n"
+            'include = ["*/digest.py"]\n'
+            'exclude = ["*/conftest.py"]\n'
+        )
+        assert config.applies("RL003", "pkg/digest.py")
+        assert not config.applies("RL003", "pkg/other.py")
+        assert not config.applies("RL003", "pkg/conftest.py")
+
+    def test_single_string_value_accepted(self):
+        config = parse_config('[rule.RL004]\ninclude = "*/api/*.py"\n')
+        assert config.applies("RL004", "src/repro/api/spec.py")
+        assert not config.applies("RL004", "src/repro/cli.py")
+
+    def test_unconfigured_rules_keep_defaults(self):
+        config = parse_config('[rule.RL001]\nexclude = ["*/x.py"]\n')
+        # RL003's built-in digest scoping survives
+        assert not config.applies("RL003", "src/repro/cli.py")
+        assert config.applies("RL003", "src/repro/platform/report.py")
+
+    @pytest.mark.parametrize("text, fragment", [
+        ("[tool.other]\n", "unknown section"),
+        ("include = []\n", r"outside a \[rule\.RLnnn\] section"),
+        ("[rule.RL001]\nnonsense line\n", "cannot parse"),
+        ("[rule.RL001]\ninclude = [unquoted]\n", "double-quoted"),
+        ("[rule.RL001]\ninclude = 42\n", "expected a double-quoted"),
+    ])
+    def test_rejects_lines_outside_the_subset(self, text, fragment):
+        with pytest.raises(LintError, match=fragment):
+            parse_config(text)
+
+    def test_error_messages_are_line_anchored(self):
+        with pytest.raises(LintError, match=r"config\.toml:2"):
+            parse_config("[rule.RL001]\nbad\n", source="config.toml")
+
+
+class TestLoadConfig:
+    def test_missing_default_file_falls_back(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert load_config() == LintConfig.default()
+
+    def test_explicit_missing_file_raises(self, tmp_path):
+        with pytest.raises(LintError, match="cannot read lint config"):
+            load_config(tmp_path / "absent.toml")
+
+    def test_explicit_file_is_parsed(self, tmp_path):
+        path = tmp_path / "lint.toml"
+        path.write_text('[rule.RL007]\nexclude = ["*/legacy.py"]\n')
+        config = load_config(path)
+        assert not config.applies("RL007", "pkg/legacy.py")
+        assert config.applies("RL007", "pkg/new.py")
+
+    def test_shipped_config_matches_built_in_defaults(self):
+        # repro-lint.toml documents the defaults; CI and bare runs agree
+        from pathlib import Path
+
+        shipped = load_config(Path(__file__).parents[2] / "repro-lint.toml")
+        assert shipped == LintConfig.default()

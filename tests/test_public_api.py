@@ -15,7 +15,7 @@ from repro.errors import ReproError
 
 class TestTopLevelSurface:
     def test_version(self):
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
@@ -56,7 +56,7 @@ class TestErrorHierarchy:
         "ConfigurationError", "SchedulingError", "SimulationError",
         "CapacityError", "RedundancyError", "SafetyViolation",
         "FaultInjectionError", "StreamError", "PlatformError",
-        "WorkerCountError",
+        "WorkerCountError", "LintError",
     ])
     def test_all_errors_derive_from_base(self, name):
         error_type = getattr(repro, name)

@@ -2,11 +2,14 @@
 """Markdown link checker for the docs CI job (dependency-free).
 
 Scans the given markdown files (or directories, recursively) for inline
-links and images, and verifies that every *relative* target resolves to
-an existing file — including ``#anchor`` fragments, which are checked
-against the target file's headings using GitHub's slug rules.  External
-(``http``/``https``/``mailto``) links are not fetched; CI must stay
-deterministic and offline.
+links and images — plus reference-style links (``[text][label]`` with a
+``[label]: target`` definition; an undefined label is reported) — and
+verifies that every *relative* target resolves to an existing file,
+including ``#anchor`` fragments, which are checked against the target
+file's headings using GitHub's slug rules (explicit HTML anchors,
+``<a id="...">`` / ``<a name="...">``, count as valid slugs too).
+External (``http``/``https``/``mailto``) links are not fetched; CI must
+stay deterministic and offline.
 
 Usage::
 
@@ -24,7 +27,13 @@ from typing import Iterable, List, Set, Tuple
 
 # inline links/images: [text](target) — stops at the first unbalanced ')'
 _LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# reference-style use: [text][label]; empty label means the text is the label
+_REF_LINK_RE = re.compile(r"!?\[([^\]]+)\]\[([^\]]*)\]")
+# reference definition: [label]: target (optionally followed by a title)
+_REF_DEF_RE = re.compile(r"^\s*\[([^\]]+)\]:\s*(\S+)")
 _HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+# explicit HTML anchors are addressable like heading slugs
+_HTML_ANCHOR_RE = re.compile(r"<a\s+(?:id|name)\s*=\s*[\"']([^\"']+)[\"']")
 _CODE_FENCE_RE = re.compile(r"^(```|~~~)")
 _EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
 
@@ -66,6 +75,8 @@ def heading_slugs(path: Path) -> Set[str]:
             continue
         if in_fence:
             continue
+        for anchor in _HTML_ANCHOR_RE.finditer(line):
+            slugs.add(anchor.group(1).lower())
         match = _HEADING_RE.match(line)
         if not match:
             continue
@@ -92,29 +103,73 @@ def extract_links(path: Path) -> List[Tuple[int, str]]:
     return links
 
 
+def reference_links(path: Path) -> Tuple[dict, List[Tuple[int, str]]]:
+    """Reference-style definitions and uses in a file.
+
+    Returns ``(definitions, uses)``: definitions map a lowercased label
+    to ``(line, target)``; uses are ``(line, label)`` pairs for every
+    ``[text][label]`` occurrence (``[text][]`` uses the text as label).
+    """
+    definitions: dict = {}
+    uses: List[Tuple[int, str]] = []
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        definition = _REF_DEF_RE.match(line)
+        if definition:
+            definitions.setdefault(
+                definition.group(1).lower(), (lineno, definition.group(2))
+            )
+            continue
+        for match in _REF_LINK_RE.finditer(line):
+            label = match.group(2) or match.group(1)
+            uses.append((lineno, label.lower()))
+    return definitions, uses
+
+
+def check_target(path: Path, lineno: int, target: str) -> List[str]:
+    """Errors for one link target (file existence plus anchor slugs)."""
+    if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("<"):
+        return []
+    base, _, fragment = target.partition("#")
+    if not base:  # same-file anchor
+        resolved = path
+    else:
+        resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            return [
+                f"{path}:{lineno}: broken link {target!r} "
+                f"(no such file {base!r})"
+            ]
+    if fragment and resolved.suffix == ".md":
+        if fragment.lower() not in heading_slugs(resolved):
+            return [
+                f"{path}:{lineno}: broken anchor {target!r} "
+                f"(no heading slug {fragment!r} in {resolved.name})"
+            ]
+    return []
+
+
 def check_file(path: Path) -> List[str]:
     """Broken-link descriptions for one markdown file."""
     errors: List[str] = []
     for lineno, target in extract_links(path):
-        if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("<"):
-            continue
-        base, _, fragment = target.partition("#")
-        if not base:  # same-file anchor
-            resolved = path
-        else:
-            resolved = (path.parent / base).resolve()
-            if not resolved.exists():
-                errors.append(
-                    f"{path}:{lineno}: broken link {target!r} "
-                    f"(no such file {base!r})"
-                )
-                continue
-        if fragment and resolved.suffix == ".md":
-            if fragment.lower() not in heading_slugs(resolved):
-                errors.append(
-                    f"{path}:{lineno}: broken anchor {target!r} "
-                    f"(no heading slug {fragment!r} in {resolved.name})"
-                )
+        errors.extend(check_target(path, lineno, target))
+    definitions, uses = reference_links(path)
+    for label in sorted(definitions):
+        def_line, target = definitions[label]
+        errors.extend(check_target(path, def_line, target))
+    for lineno, label in uses:
+        if label not in definitions:
+            errors.append(
+                f"{path}:{lineno}: undefined reference link label "
+                f"{label!r} (no '[{label}]: target' definition)"
+            )
     return errors
 
 
