@@ -20,35 +20,19 @@ match *everywhere*.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
-from typing import Dict
+
+from _bench_artifacts import BenchArtifact
 
 from repro.analysis.campaigns import campaign_worker_scaling
 from repro.api import CampaignSpec, FaultPlanSpec, RunSpec, WorkloadSpec
 from repro.campaigns import CampaignStore, campaign_status, resume_campaign, run_campaign
 
-_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_campaigns.json"
-_RECORDS: Dict[str, Dict[str, object]] = {}
-
-
-def _record(scenario: str, **metrics: object) -> None:
-    """Merge one scenario's metrics into the JSON artifact (see
-    ``bench_simulator_performance._record`` for the merge rationale)."""
-    _RECORDS[scenario] = metrics
-    scenarios: Dict[str, Dict[str, object]] = {}
-    try:
-        scenarios = json.loads(_BENCH_JSON.read_text()).get("scenarios", {})
-    except (OSError, ValueError):
-        pass  # absent or unreadable artifact: start fresh
-    scenarios.update(_RECORDS)
-    payload = {
-        "schema": "bench-campaigns/v1",
-        "generated_by": "benchmarks/bench_campaigns.py",
-        "scenarios": scenarios,
-    }
-    _BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+_ARTIFACT = BenchArtifact(
+    "BENCH_campaigns.json", "bench-campaigns/v2",
+    "benchmarks/bench_campaigns.py",
+)
+_record = _ARTIFACT.record
 
 
 def _campaign_spec(total: int, *, shards: int, seed: int = 7) -> CampaignSpec:

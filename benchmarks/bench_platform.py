@@ -14,10 +14,10 @@ pytest-benchmark mode, including ``--benchmark-disable``.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import List, Tuple
+
+from _bench_artifacts import BenchArtifact
 
 from repro.analysis.platform import device_count_sweep
 from repro.api import (
@@ -29,30 +29,15 @@ from repro.api import (
 )
 from repro.platform import run_platform
 
-_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_platform.json"
-_RECORDS: Dict[str, Dict[str, object]] = {}
-
 _TASK_NAMES = ("camera-perception", "radar-cfar", "lidar-segmentation",
                "trajectory-scoring")
 _PRESETS = ("gtx1050ti", "pcie4-discrete", "embedded-igpu")
 
-
-def _record(scenario: str, **metrics: object) -> None:
-    """Merge one scenario's metrics into the JSON artifact (see
-    ``bench_simulator_performance._record`` for the merge rationale)."""
-    _RECORDS[scenario] = metrics
-    scenarios: Dict[str, Dict[str, object]] = {}
-    try:
-        scenarios = json.loads(_BENCH_JSON.read_text()).get("scenarios", {})
-    except (OSError, ValueError):
-        pass  # absent or unreadable artifact: start fresh
-    scenarios.update(_RECORDS)
-    payload = {
-        "schema": "bench-platform/v1",
-        "generated_by": "benchmarks/bench_platform.py",
-        "scenarios": scenarios,
-    }
-    _BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+_ARTIFACT = BenchArtifact(
+    "BENCH_platform.json", "bench-platform/v2",
+    "benchmarks/bench_platform.py",
+)
+_record = _ARTIFACT.record
 
 
 def _task_set(frames: int, *, faults: bool = False) -> Tuple[StreamSpec, ...]:

@@ -13,10 +13,10 @@ mode, including ``--benchmark-disable``.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
-from typing import Callable, Dict
+from typing import Callable
+
+from _bench_artifacts import BenchArtifact
 
 from repro.faults.campaign import CampaignConfig, FaultCampaign
 from repro.gpu.config import GPUConfig, SMConfig
@@ -26,31 +26,11 @@ from repro.gpu.scheduler import DefaultScheduler
 from repro.gpu.simulator import GPUSimulator, SimulationResult
 from repro.redundancy.manager import RedundantKernelManager
 
-_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
-_RECORDS: Dict[str, Dict[str, float]] = {}
-
-
-def _record(scenario: str, **metrics: float) -> None:
-    """Merge one scenario's metrics into the JSON artifact.
-
-    Merging (rather than rewriting from this process's records) keeps the
-    other scenarios' entries intact when only a subset of the suite runs
-    (``-k``, ``-x`` aborts), so the tracked artifact never silently loses
-    data.
-    """
-    _RECORDS[scenario] = metrics
-    scenarios: Dict[str, Dict[str, float]] = {}
-    try:
-        scenarios = json.loads(_BENCH_JSON.read_text()).get("scenarios", {})
-    except (OSError, ValueError):
-        pass  # absent or unreadable artifact: start fresh
-    scenarios.update(_RECORDS)
-    payload = {
-        "schema": "bench-simulator/v1",
-        "generated_by": "benchmarks/bench_simulator_performance.py",
-        "scenarios": scenarios,
-    }
-    _BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+_ARTIFACT = BenchArtifact(
+    "BENCH_simulator.json", "bench-simulator/v2",
+    "benchmarks/bench_simulator_performance.py",
+)
+_record = _ARTIFACT.record
 
 
 def _timed_simulation(scenario: str,

@@ -16,10 +16,9 @@ PRs.  They run meaningfully under every pytest-benchmark mode, including
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
-from typing import Dict
+
+from _bench_artifacts import BenchArtifact
 
 from repro.analysis.streams import arrival_rate_sweep
 from repro.api import (
@@ -31,26 +30,11 @@ from repro.api import (
 )
 from repro.streams import run_stream
 
-_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_streams.json"
-_RECORDS: Dict[str, Dict[str, object]] = {}
-
-
-def _record(scenario: str, **metrics: object) -> None:
-    """Merge one scenario's metrics into the JSON artifact (see
-    ``bench_simulator_performance._record`` for the merge rationale)."""
-    _RECORDS[scenario] = metrics
-    scenarios: Dict[str, Dict[str, object]] = {}
-    try:
-        scenarios = json.loads(_BENCH_JSON.read_text()).get("scenarios", {})
-    except (OSError, ValueError):
-        pass  # absent or unreadable artifact: start fresh
-    scenarios.update(_RECORDS)
-    payload = {
-        "schema": "bench-streams/v1",
-        "generated_by": "benchmarks/bench_streams.py",
-        "scenarios": scenarios,
-    }
-    _BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+_ARTIFACT = BenchArtifact(
+    "BENCH_streams.json", "bench-streams/v2",
+    "benchmarks/bench_streams.py",
+)
+_record = _ARTIFACT.record
 
 
 def _soak_spec(frames: int) -> StreamSpec:

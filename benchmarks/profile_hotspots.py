@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Profile the repo's two hot loops so perf work starts from data.
+
+Runs cProfile over the same workloads the throughput benchmarks gate:
+
+* ``het-grid`` — the ``large_grid_heterogeneous`` simulator scenario
+  (1024 distinct-footprint launches on a 64-SM GPU), the headline
+  event-loop workload of ``BENCH_simulator.json``;
+* ``soak`` — the 100k-frame stream soak of ``BENCH_streams.json``
+  (jittered arrivals, 1% fault overlay), the frame-loop workload.
+
+For each selected scenario the top functions by cumulative time are
+printed (default 25), and ``--out DIR`` additionally saves a
+``<scenario>.pstats`` file for ``snakeviz`` / ``pstats`` digging.  The
+same profiler is reachable for arbitrary streams via
+``repro stream run --profile OUT.pstats``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_hotspots.py [het-grid|soak|all]
+        [--frames N] [--top N] [--out DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+from typing import Callable, Dict
+
+
+def _profile(label: str, fn: Callable[[], object], *, top: int,
+             out_dir: Path = None) -> None:
+    """cProfile one workload and print its top-``top`` cumulative rows."""
+    print(f"=== {label} ===")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(top)
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        target = out_dir / f"{label}.pstats"
+        stats.dump_stats(str(target))
+        print(f"saved {target}")
+
+
+def _run_het_grid() -> object:
+    """The ``large_grid_heterogeneous`` simulator scenario."""
+    from repro.gpu.config import GPUConfig, SMConfig
+    from repro.gpu.kernel import KernelDescriptor, KernelLaunch
+    from repro.gpu.scheduler import DefaultScheduler
+    from repro.gpu.simulator import GPUSimulator
+
+    gpu = GPUConfig(
+        name="wide-64sm", num_sms=64,
+        sm=SMConfig(max_threads=2048, max_blocks=16, registers=65536,
+                    shared_memory=65536),
+        dram_bandwidth=512.0, dispatch_latency=5.0,
+    )
+    launches = [
+        KernelLaunch(
+            kernel=KernelDescriptor(
+                name=f"perf/het{i}", grid_blocks=16, threads_per_block=128,
+                work_per_block=500.0 + 7.0 * i,
+                bytes_per_block=300.0 + 3.0 * i,
+            ),
+            instance_id=i,
+        )
+        for i in range(1024)
+    ]
+    return GPUSimulator(gpu, DefaultScheduler()).run(launches)
+
+
+def _run_soak(frames: int) -> object:
+    """The 100k-frame stream soak scenario (scaled by ``--frames``)."""
+    from bench_streams import _soak_spec
+
+    from repro.streams import run_stream
+
+    return run_stream(_soak_spec(frames), workers=1)
+
+
+def main(argv=None) -> int:
+    """CLI entry point (see the module docstring)."""
+    parser = argparse.ArgumentParser(
+        description="cProfile the simulator event loop and stream "
+                    "frame loop."
+    )
+    parser.add_argument("scenario", nargs="?", default="all",
+                        choices=("het-grid", "soak", "all"),
+                        help="which hot loop to profile (default both)")
+    parser.add_argument("--frames", type=int, default=100_000,
+                        help="soak length in frames (default %(default)s)")
+    parser.add_argument("--top", type=int, default=25,
+                        help="rows of the cumulative-time dump "
+                             "(default %(default)s)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory to save <scenario>.pstats files in")
+    args = parser.parse_args(argv)
+
+    runs: Dict[str, Callable[[], object]] = {}
+    if args.scenario in ("het-grid", "all"):
+        runs["het-grid"] = _run_het_grid
+    if args.scenario in ("soak", "all"):
+        runs["soak"] = lambda: _run_soak(args.frames)
+    for label, fn in runs.items():
+        _profile(label, fn, top=args.top, out_dir=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    sys.exit(main())

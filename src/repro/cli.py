@@ -446,7 +446,21 @@ def _cmd_stream(args: argparse.Namespace) -> str:
             from dataclasses import replace
 
             spec = replace(spec, frames=args.frames)
-        report = run_stream(spec, workers=args.workers)
+        if args.profile:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            report = run_stream(spec, workers=args.workers)
+            profiler.disable()
+            try:
+                profiler.dump_stats(args.profile)
+            except OSError as exc:
+                raise ConfigurationError(
+                    f"cannot write profile file {args.profile!r}: {exc}"
+                )
+        else:
+            report = run_stream(spec, workers=args.workers)
         if args.out:
             try:
                 Path(args.out).write_text(report.to_json(indent=2) + "\n")
@@ -717,6 +731,9 @@ def _build_parser() -> argparse.ArgumentParser:
                            "(default 1; never changes the report)")
     srun.add_argument("--out", default=None,
                       help="also write the report JSON to this file")
+    srun.add_argument("--profile", default=None, metavar="OUT.pstats",
+                      help="run under cProfile and dump stats to this file "
+                           "(inspect with pstats or snakeviz)")
     srun.add_argument("--json", action="store_true",
                       help="emit report JSON instead of a table")
 

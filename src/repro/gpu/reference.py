@@ -65,10 +65,12 @@ class _RefTB:
 
     @property
     def done(self) -> bool:
+        """True once both work dimensions have drained."""
         return not self.compute_active and not self.memory_active
 
     @property
     def key(self) -> Tuple[int, int]:
+        """Stable identity ``(instance_id, tb_index)`` of this block."""
         return (self.launch.instance_id, self.tb_index)
 
 
@@ -84,6 +86,7 @@ class _RefSMState:
     resident: Dict[Tuple[int, int], _RefTB] = field(default_factory=dict)
 
     def fits(self, kernel: KernelDescriptor) -> bool:
+        """True when one more block of ``kernel`` fits on this SM."""
         return (
             self.free_blocks >= 1
             and self.free_threads >= kernel.threads_per_block
@@ -93,12 +96,14 @@ class _RefSMState:
         )
 
     def take(self, kernel: KernelDescriptor) -> None:
+        """Debit one block's worth of ``kernel`` resources."""
         self.free_blocks -= 1
         self.free_threads -= kernel.threads_per_block
         self.free_registers -= kernel.regs_per_thread * kernel.threads_per_block
         self.free_shared_memory -= kernel.shared_mem_per_block
 
     def release(self, kernel: KernelDescriptor) -> None:
+        """Credit one block's worth of ``kernel`` resources back."""
         self.free_blocks += 1
         self.free_threads += kernel.threads_per_block
         self.free_registers += kernel.regs_per_thread * kernel.threads_per_block
@@ -122,14 +127,17 @@ class _RefLaunchState:
 
     @property
     def kernel(self) -> KernelDescriptor:
+        """The launch's kernel descriptor."""
         return self.launch.kernel
 
     @property
     def all_dispatched(self) -> bool:
+        """True once every grid block has been placed on some SM."""
         return self.next_tb >= self.kernel.grid_blocks
 
     @property
     def complete(self) -> bool:
+        """True once every block of the launch has finished."""
         return self.completion is not None
 
 

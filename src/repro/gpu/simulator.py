@@ -43,14 +43,38 @@ memory-active blocks share DRAM bandwidth equally), progress is tracked by
   that **never changes**, no matter how often the block's bandwidth share
   changes afterwards;
 * upcoming finishes therefore live in min-heaps (one per SM for compute,
-  one global for memory) that never need re-keying; an event only advances
-  the clocks (one multiply-add per active SM plus one for memory) and pops
-  the drained keys.
+  one global for memory) that never need re-keying; an event advances the
+  clocks (one multiply-add per active SM plus one for memory) and drains
+  **every** key within ``_EPS`` of the new clock readings, so all
+  same-virtual-time completions collapse into one batched event.
 
-Per-event cost is O(active SMs + log resident) instead of the previous
-O(resident blocks + launches); placement bookkeeping is likewise indexed
-(release-log capacity screen, reverse-dependency map, per-SM per-instance
-residency counters) so no event rescans all blocks or launch states.
+Raw-speed data layout
+---------------------
+
+The hot-loop state is array-oriented rather than object-oriented:
+
+* **Flat thread-block slots** — a resident block is a reusable integer
+  slot id indexing parallel lists (owning launch state, block index, SM,
+  start time, per-dimension activity flags).  Heap entries are plain
+  ``(finish_key, seq, slot)`` tuples; a free-list recycles slot ids so a
+  run allocates O(peak residency) slots, not O(total blocks).
+* **Indexed dispatch queue** — arrived, not-fully-dispatched launches
+  live in a doubly-linked list over order indices (ascending submission
+  order) with O(1) unlink, replacing the former sorted-list ``insort``
+  re-queues and list rebuilds.
+* **Parked eligibility classes** — a capacity-blocked launch is *parked*
+  off the dispatch queue under its eligibility-class key (resource
+  footprint + SM mask; the launch itself when kernel mixing is off).  The
+  release log is the dirty flag: a parked class is re-screened only
+  against SMs that released a block since it parked, and costs O(1) per
+  placement call otherwise.  This replaces per-event candidate rescans of
+  every blocked launch with one screen per blocked *class*.
+
+Per-event cost is O(active SMs + log resident + blocked classes) instead
+of the previous O(resident blocks + launches); placement bookkeeping is
+likewise indexed (release-log capacity screen, reverse-dependency map,
+per-SM per-instance residency counters) so no event rescans all blocks or
+launch states.
 
 :mod:`repro.gpu.reference` retains a scan-everything-per-event core with
 the *identical* arithmetic; the randomized differential suite
@@ -61,7 +85,6 @@ bit-identical traces, event counts and scheduler interactions.
 from __future__ import annotations
 
 import heapq
-from bisect import insort
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -83,43 +106,13 @@ _EPS = 1e-9
 
 
 @dataclass
-class _ResidentTB:
-    """Mutable state of one thread block resident on an SM.
-
-    ``compute_finish`` / ``memory_finish`` are *virtual-clock* finish keys:
-    the value the owning SM's compute clock (resp. the global memory clock)
-    must reach for that work dimension to drain.  They are fixed at
-    placement and never updated — only the clocks move.
-    """
-
-    launch: KernelLaunch
-    tb_index: int
-    sm: int
-    start: float
-    seq: int
-    compute_active: bool
-    memory_active: bool
-    compute_finish: float = 0.0
-    memory_finish: float = 0.0
-
-    @property
-    def done(self) -> bool:
-        """True when both work dimensions are exhausted."""
-        return not self.compute_active and not self.memory_active
-
-    @property
-    def key(self) -> Tuple[int, int]:
-        """Unique identity of the block within a run."""
-        return (self.launch.instance_id, self.tb_index)
-
-
-@dataclass
 class _SMState:
     """Mutable resource accounting and compute clock of one SM.
 
     Residency is tracked by counters (total and per launch instance) so the
     scheduler-view queries and the kernel-mixing rule are O(1); the heap
-    holds ``(compute_finish, seq, block)`` for every compute-active block.
+    holds ``(compute_finish, seq, slot)`` for every compute-active block,
+    where ``slot`` indexes the simulator's flat thread-block arrays.
     """
 
     free_threads: int
@@ -130,7 +123,7 @@ class _SMState:
     resident_by_instance: Dict[int, int] = field(default_factory=dict)
     compute_active: int = 0
     virtual: float = 0.0
-    heap: List[Tuple[float, int, _ResidentTB]] = field(default_factory=list)
+    heap: List[Tuple[float, int, int]] = field(default_factory=list)
 
     def fits(self, kernel: KernelDescriptor) -> bool:
         """Whether one more block of ``kernel`` fits right now."""
@@ -159,11 +152,21 @@ class _SMState:
 
 @dataclass
 class _LaunchState:
-    """Mutable per-launch bookkeeping."""
+    """Mutable per-launch bookkeeping.
+
+    ``kernel``, ``grid_blocks``, ``work`` and ``memory`` mirror immutable
+    launch attributes as plain fields: the placement fast paths read them
+    millions of times per run, and a field load is severalfold cheaper
+    than a property call chaining through two attribute lookups.
+    """
 
     launch: KernelLaunch
+    kernel: KernelDescriptor
     remaining_deps: Set[int]
     order_index: int
+    grid_blocks: int
+    work: float  # float(kernel.work_per_block), cached
+    memory: float  # float(kernel.bytes_per_block), cached
     arrival: Optional[float] = None  # known once deps resolved + dispatch slot
     started: bool = False
     first_dispatch: Optional[float] = None
@@ -180,21 +183,39 @@ class _LaunchState:
     # launches; None when kernel mixing is off (eligibility then depends
     # on the launch instance itself)
     screen_key: Optional[Tuple] = None
-
-    @property
-    def kernel(self) -> KernelDescriptor:
-        """Static descriptor of the launch."""
-        return self.launch.kernel
+    # parking key: ``screen_key`` when kernel mixing is on, else the
+    # launch's own order index (a solo one-member class)
+    park_key: object = None
 
     @property
     def all_dispatched(self) -> bool:
         """True when every block has been placed on some SM."""
-        return self.next_tb >= self.kernel.grid_blocks
+        return self.next_tb >= self.grid_blocks
 
     @property
     def complete(self) -> bool:
         """True when every block has finished."""
         return self.completion is not None
+
+
+class _ParkedGroup:
+    """Capacity-blocked launches of one eligibility class, parked off the
+    dispatch queue.
+
+    ``blocked_at_log`` is the release-log length at the class's oldest
+    un-rescreened block point — the dirty flag: while the log has not
+    grown past it, no SM can have become eligible and the whole class
+    costs O(1) per placement call.  ``members`` is a min-heap of parked
+    order indices, so the earliest-submitted member is always unparked
+    first (submission-order placement is part of the bit-identity
+    contract with the reference core).
+    """
+
+    __slots__ = ("blocked_at_log", "members")
+
+    def __init__(self, blocked_at_log: int) -> None:
+        self.blocked_at_log = blocked_at_log
+        self.members: List[int] = []
 
 
 @dataclass(frozen=True)
@@ -253,16 +274,33 @@ class GPUSimulator:
         self._last_dispatch_time: Optional[float] = None
         self._trace: Optional[ExecutionTrace] = None
         self._events = 0
+        # config scalars, cached at reset (hot-loop reads)
+        self._throughput = 1.0
+        self._dram_bw = 1.0
+        self._mixing = True
         # virtual-time engine state
         self._mem_virtual = 0.0
         self._mem_active = 0
-        self._mem_heap: List[Tuple[float, int, _ResidentTB]] = []
+        self._mem_heap: List[Tuple[float, int, int]] = []
         self._resident_total = 0
         self._seq = 0
-        self._zombies: List[_ResidentTB] = []
+        self._zombies: List[Tuple[int, int]] = []  # (seq, slot)
+        # flat thread-block slot arrays (parallel, indexed by slot id)
+        self._tb_state: List[Optional[_LaunchState]] = []
+        self._tb_index: List[int] = []
+        self._tb_sm: List[int] = []
+        self._tb_start: List[float] = []
+        self._tb_cact: List[bool] = []  # compute dimension still draining
+        self._tb_mact: List[bool] = []  # memory dimension still draining
+        self._tb_free: List[int] = []  # recycled slot ids
         # indexed launch bookkeeping
         self._arrival_heap: List[Tuple[float, int]] = []  # (arrival, order idx)
-        self._undispatched: List[int] = []  # order idxs, ascending
+        # dispatch queue: doubly-linked list over order indices, ascending;
+        # index n is the sentinel, -1 marks "not linked"
+        self._ud_next: List[int] = []
+        self._ud_prev: List[int] = []
+        self._ud_sent = 0
+        self._parked: Dict[object, _ParkedGroup] = {}
         self._first_incomplete = 0
         self._incomplete = 0
         self._release_log: List[int] = []  # SM id per completed block
@@ -375,6 +413,9 @@ class GPUSimulator:
         self._now = 0.0
         self._events = 0
         self._last_dispatch_time = None
+        self._throughput = self._gpu.sm.issue_throughput
+        self._dram_bw = self._gpu.dram_bandwidth
+        self._mixing = self._gpu.allow_kernel_mixing
         sm_cfg = self._gpu.sm
         self._sms = [
             _SMState(
@@ -389,8 +430,13 @@ class GPUSimulator:
         self._order_index = {iid: i for i, iid in enumerate(ids)}
         self._states = {
             l.instance_id: _LaunchState(
-                launch=l, remaining_deps=set(l.depends_on),
+                launch=l,
+                kernel=l.kernel,
+                remaining_deps=set(l.depends_on),
                 order_index=self._order_index[l.instance_id],
+                grid_blocks=l.kernel.grid_blocks,
+                work=float(l.kernel.work_per_block),
+                memory=float(l.kernel.bytes_per_block),
             )
             for l in launches
         }
@@ -404,10 +450,22 @@ class GPUSimulator:
         self._resident_total = 0
         self._seq = 0
         self._zombies = []
+        self._tb_state = []
+        self._tb_index = []
+        self._tb_sm = []
+        self._tb_start = []
+        self._tb_cact = []
+        self._tb_mact = []
+        self._tb_free = []
         self._arrival_heap = []
-        self._undispatched = []
+        n = len(ids)
+        self._ud_next = [-1] * (n + 1)
+        self._ud_prev = [-1] * (n + 1)
+        self._ud_next[n] = self._ud_prev[n] = n
+        self._ud_sent = n
+        self._parked = {}
         self._first_incomplete = 0
-        self._incomplete = len(self._order)
+        self._incomplete = n
         self._release_log = []
         self._trace = ExecutionTrace(self._gpu.num_sms)
         self._scheduler.reset(self._gpu)
@@ -443,7 +501,7 @@ class GPUSimulator:
             st = self._states[launch.instance_id]
             st.allowed = tuple(sorted(set(allowed)))
             st.allowed_set = frozenset(st.allowed)
-            if self._gpu.allow_kernel_mixing:
+            if self._mixing:
                 kernel = launch.kernel
                 st.screen_key = (
                     kernel.threads_per_block,
@@ -451,6 +509,9 @@ class GPUSimulator:
                     kernel.shared_mem_per_block,
                     st.allowed,
                 )
+                st.park_key = st.screen_key
+            else:
+                st.park_key = st.order_index
 
     def _assign_arrival(self, st: _LaunchState, ready_at: float) -> None:
         """Compute a launch's arrival time through the serial dispatch path."""
@@ -464,6 +525,97 @@ class GPUSimulator:
         heapq.heappush(self._arrival_heap, (arrival, st.order_index))
 
     # ------------------------------------------------------------------
+    # dispatch queue (doubly-linked list over order indices)
+    # ------------------------------------------------------------------
+    def _ud_insert_sorted(self, idx: int) -> None:
+        """Link ``idx`` into the dispatch queue at its sorted position.
+
+        Walks backwards from the tail: insertions are clustered near the
+        end (arrivals are near-monotone in submission order; unparked
+        launches re-enter close to their neighbours), so the walk is
+        near-O(1) in practice.
+        """
+        nxt, prv = self._ud_next, self._ud_prev
+        sent = self._ud_sent
+        j = prv[sent]
+        while j != sent and j > idx:
+            j = prv[j]
+        k = nxt[j]
+        nxt[j] = idx
+        prv[idx] = j
+        nxt[idx] = k
+        prv[k] = idx
+
+    def _ud_unlink(self, idx: int) -> None:
+        """Unlink ``idx`` from the dispatch queue (O(1))."""
+        nxt, prv = self._ud_next, self._ud_prev
+        p, k = prv[idx], nxt[idx]
+        nxt[p] = k
+        prv[k] = p
+        nxt[idx] = -1
+        prv[idx] = -1
+
+    # ------------------------------------------------------------------
+    # parked eligibility classes
+    # ------------------------------------------------------------------
+    def _park(self, st: _LaunchState, idx: int, log_len: int) -> None:
+        """Move a capacity-blocked launch from the queue to its class."""
+        self._ud_unlink(idx)
+        group = self._parked.get(st.park_key)
+        if group is None:
+            self._parked[st.park_key] = group = _ParkedGroup(log_len)
+        heapq.heappush(group.members, idx)
+
+    def _unpark_eligible(self, log_len: int) -> None:
+        """Re-screen parked classes against SMs released since they parked.
+
+        A class whose screen finds an eligible SM gets its earliest-
+        submitted member linked back into the dispatch queue; the member's
+        own ``blocked_at_log`` then drives the (narrower) released-SM
+        rescan at its queue position, preserving the exact candidate lists
+        and ``select_sm`` sequence of the reference core.  A class whose
+        screen finds nothing updates its dirty flag and stays O(1) until
+        the release log grows again.
+        """
+        log = self._release_log
+        states, order = self._states, self._order
+        for key in list(self._parked):
+            group = self._parked[key]
+            blocked_at = group.blocked_at_log
+            if blocked_at >= log_len:
+                continue  # nothing released since the last screen
+            rep = states[order[group.members[0]]]
+            allowed = rep.allowed_set
+            eligible = False
+            for sm in set(log[blocked_at:]):
+                if sm in allowed and self._sm_eligible(sm, rep):
+                    eligible = True
+                    break
+            if eligible:
+                head = heapq.heappop(group.members)
+                if not group.members:
+                    del self._parked[key]
+                self._ud_insert_sorted(head)
+            else:
+                group.blocked_at_log = log_len
+
+    def _feed_from_group(self, st: _LaunchState) -> None:
+        """Offer the next parked member of ``st``'s class to this pass.
+
+        Called when a launch of the class left the queue without proving
+        the class blocked (fully dispatched, or the scheduler declined
+        placement): the reference core would scan the class's next
+        launch in the same pass, so it must re-enter the queue here.
+        """
+        group = self._parked.get(st.park_key)
+        if group is None:
+            return
+        member = heapq.heappop(group.members)
+        if not group.members:
+            del self._parked[st.park_key]
+        self._ud_insert_sorted(member)
+
+    # ------------------------------------------------------------------
     # placement
     # ------------------------------------------------------------------
     def _advance_first_incomplete(self) -> int:
@@ -471,7 +623,7 @@ class GPUSimulator:
         order, states = self._order, self._states
         i = self._first_incomplete
         n = len(order)
-        while i < n and states[order[i]].complete:
+        while i < n and states[order[i]].completion is not None:
             i += 1
         self._first_incomplete = i
         return i
@@ -481,18 +633,12 @@ class GPUSimulator:
         state = self._sms[sm]
         if not state.fits(st.kernel):
             return False
-        if not self._gpu.allow_kernel_mixing:
+        if not self._mixing:
             iid = st.launch.instance_id
             others = state.resident_total - state.resident_by_instance.get(iid, 0)
             if others:
                 return False
         return True
-
-    def _candidate_sms(self, launch: KernelLaunch) -> List[int]:
-        """SMs with capacity for one more block of ``launch``, within the
-        scheduler's mask and the kernel-mixing rule (ascending order)."""
-        st = self._states[launch.instance_id]
-        return [sm for sm in st.allowed if self._sm_eligible(sm, st)]
 
     def _try_placement(self) -> None:
         """Dispatch thread blocks of arrived launches until no progress."""
@@ -500,7 +646,7 @@ class GPUSimulator:
         heap = self._arrival_heap
         due = self._now + _EPS
         while heap and heap[0][0] <= due:
-            insort(self._undispatched, heapq.heappop(heap)[1])
+            self._ud_insert_sorted(heapq.heappop(heap)[1])
         if self._scheduler.strict_fifo:
             self._try_placement_fifo()
         else:
@@ -526,8 +672,8 @@ class GPUSimulator:
                     self._scheduler.on_kernel_start(st.launch, self)
                     st.started = True
                 progressed = self._dispatch_blocks(st)
-        if st.all_dispatched:
-            self._drop_dispatched()
+        if st.all_dispatched and self._ud_next[st.order_index] != -1:
+            self._ud_unlink(st.order_index)
 
     def _try_placement_concurrent(self) -> None:
         """Concurrent placement over all arrived, not-fully-dispatched
@@ -535,49 +681,60 @@ class GPUSimulator:
 
         No block completes during placement, so ``len(release_log)`` is
         constant here and a launch (or eligibility class — see
-        ``screen_key``) screened as capacity-blocked stays blocked for the
-        rest of the call; those launches cost O(1) per pass.
+        ``park_key``) screened as capacity-blocked stays blocked for the
+        rest of the call; those launches are parked off the queue and the
+        pass scan touches only launches that can still make progress.
         """
         log_len = len(self._release_log)
+        if self._parked:
+            self._unpark_eligible(log_len)
         blocked_keys: Set[Tuple] = set()
+        states, order = self._states, self._order
+        nxt, prv = self._ud_next, self._ud_prev
+        sent = self._ud_sent
+        scheduler = self._scheduler
         progressed = True
         while progressed:
             progressed = False
-            drop = False
-            states, order = self._states, self._order
-            for oidx in self._undispatched:
-                st = states[order[oidx]]
-                if st.all_dispatched:  # dispatched in an earlier pass
-                    drop = True
-                    continue
+            cur = nxt[sent]
+            while cur != sent:
+                prev = prv[cur]
+                st = states[order[cur]]
                 if not st.started:
-                    if not self._scheduler.may_start(st.launch, self):
+                    if not scheduler.may_start(st.launch, self):
+                        cur = nxt[cur]
                         continue
-                    self._scheduler.on_kernel_start(st.launch, self)
+                    scheduler.on_kernel_start(st.launch, self)
                     st.started = True
                 if st.blocked_at_log == log_len:
+                    # blocked earlier in this call; park until a release
+                    self._park(st, cur, log_len)
+                    cur = nxt[prev]
                     continue
                 key = st.screen_key
                 if key is not None and key in blocked_keys:
                     # an identical (footprint, mask) launch already found
                     # zero eligible SMs this round; capacity only shrank
                     st.blocked_at_log = log_len
+                    self._park(st, cur, log_len)
+                    cur = nxt[prev]
                     continue
                 if self._dispatch_blocks(st):
                     progressed = True
-                if st.all_dispatched:
-                    drop = True
-                elif st.blocked_at_log == log_len and key is not None:
-                    blocked_keys.add(key)
-            if drop:
-                self._drop_dispatched()
-
-    def _drop_dispatched(self) -> None:
-        states, order = self._states, self._order
-        self._undispatched = [
-            oidx for oidx in self._undispatched
-            if not states[order[oidx]].all_dispatched
-        ]
+                if st.next_tb >= st.grid_blocks:
+                    self._ud_unlink(cur)
+                    self._feed_from_group(st)
+                    cur = nxt[prev]
+                elif st.blocked_at_log == log_len:
+                    if key is not None:
+                        blocked_keys.add(key)
+                    self._park(st, cur, log_len)
+                    cur = nxt[prev]
+                else:
+                    # scheduler declined while capacity remains: parked
+                    # classmates must still get their scan this pass
+                    self._feed_from_group(st)
+                    cur = nxt[cur]
 
     def _dispatch_blocks(self, st: _LaunchState) -> bool:
         """Place as many blocks of one launch as capacity permits.
@@ -607,9 +764,8 @@ class GPUSimulator:
             st.blocked_at_log = len(log)
             return False
         placed_any = False
-        kernel = st.kernel
         candidate_set = set(candidates)
-        while not st.all_dispatched:
+        while st.next_tb < st.grid_blocks:
             sm = self._scheduler.select_sm(st.launch, candidates, self)
             if sm is None:
                 break
@@ -625,50 +781,58 @@ class GPUSimulator:
                 candidates.remove(sm)
                 candidate_set.discard(sm)
                 if not candidates:
-                    if not st.all_dispatched:
+                    if st.next_tb < st.grid_blocks:
                         st.blocked_at_log = len(log)
                     break
         return placed_any
 
     def _place_tb(self, st: _LaunchState, sm: int) -> None:
+        """Make one block of ``st`` resident on ``sm`` (flat-slot alloc)."""
         kernel = st.kernel
         sm_state = self._sms[sm]
         sm_state.take(kernel)
-        compute = float(kernel.work_per_block)
-        memory = float(kernel.bytes_per_block)
+        compute = st.work
+        memory = st.memory
         seq = self._seq
-        self._seq += 1
-        tb = _ResidentTB(
-            launch=st.launch,
-            tb_index=st.next_tb,
-            sm=sm,
-            start=self._now,
-            seq=seq,
-            compute_active=compute > _EPS,
-            memory_active=memory > _EPS,
-        )
+        self._seq = seq + 1
+        cact = compute > _EPS
+        mact = memory > _EPS
+        free = self._tb_free
+        if free:
+            slot = free.pop()
+            self._tb_state[slot] = st
+            self._tb_index[slot] = st.next_tb
+            self._tb_sm[slot] = sm
+            self._tb_start[slot] = self._now
+            self._tb_cact[slot] = cact
+            self._tb_mact[slot] = mact
+        else:
+            slot = len(self._tb_state)
+            self._tb_state.append(st)
+            self._tb_index.append(st.next_tb)
+            self._tb_sm.append(sm)
+            self._tb_start.append(self._now)
+            self._tb_cact.append(cact)
+            self._tb_mact.append(mact)
         st.next_tb += 1
         st.resident_count += 1
         if st.first_dispatch is None:
             st.first_dispatch = self._now
         iid = st.launch.instance_id
         sm_state.resident_total += 1
-        sm_state.resident_by_instance[iid] = (
-            sm_state.resident_by_instance.get(iid, 0) + 1
-        )
+        by_instance = sm_state.resident_by_instance
+        by_instance[iid] = by_instance.get(iid, 0) + 1
         self._resident_total += 1
-        if tb.compute_active:
-            tb.compute_finish = sm_state.virtual + compute
+        if cact:
             sm_state.compute_active += 1
-            heapq.heappush(sm_state.heap, (tb.compute_finish, seq, tb))
-        if tb.memory_active:
-            tb.memory_finish = self._mem_virtual + memory
+            heapq.heappush(sm_state.heap, (sm_state.virtual + compute, seq, slot))
+        if mact:
             self._mem_active += 1
-            heapq.heappush(self._mem_heap, (tb.memory_finish, seq, tb))
-        if tb.done:
+            heapq.heappush(self._mem_heap, (self._mem_virtual + memory, seq, slot))
+        if not cact and not mact:
             # degenerate (sub-epsilon) work in both dimensions: completes
             # at the next event, like any block whose work just drained
-            self._zombies.append(tb)
+            self._zombies.append((seq, slot))
 
     # ------------------------------------------------------------------
     # fluid timing (virtual clocks)
@@ -681,44 +845,42 @@ class GPUSimulator:
         completion is its heap top mapped through the current clock rate.
         """
         candidate: Optional[float] = None
+        now = self._now
 
         if self._mem_active:
-            mem_rate = self._gpu.dram_bandwidth / self._mem_active
+            mem_rate = self._dram_bw / self._mem_active
             candidate = (
-                self._now
-                + (self._mem_heap[0][0] - self._mem_virtual) / mem_rate
+                now + (self._mem_heap[0][0] - self._mem_virtual) / mem_rate
             )
-        throughput = self._gpu.sm.issue_throughput
+        throughput = self._throughput
         for sm_state in self._sms:
             if sm_state.compute_active:
                 share = throughput / sm_state.compute_active
-                t = self._now + (sm_state.heap[0][0] - sm_state.virtual) / share
-                candidate = t if candidate is None else min(candidate, t)
+                t = now + (sm_state.heap[0][0] - sm_state.virtual) / share
+                if candidate is None or t < candidate:
+                    candidate = t
 
         future_arrival: Optional[float] = None
         if self._arrival_heap:
             # every remaining entry is strictly in the future (due arrivals
             # were materialised by _try_placement at this timestamp)
             future_arrival = self._arrival_heap[0][0]
-        states, order = self._states, self._order
-        for oidx in self._undispatched:
-            st = states[order[oidx]]
+        states, order, nxt = self._states, self._order, self._ud_next
+        sent = self._ud_sent
+        cur = nxt[sent]
+        while cur != sent:
+            st = states[order[cur]]
             if not st.started:
                 # arrived but admission-blocked: time-gated policies
                 # (e.g. enforced stagger) expose their retry time
                 retry = self._scheduler.earliest_start(st.launch, self)
-                if retry is not None and retry > self._now + _EPS:
-                    future_arrival = (
-                        retry
-                        if future_arrival is None
-                        else min(future_arrival, retry)
-                    )
+                if retry is not None and retry > now + _EPS:
+                    if future_arrival is None or retry < future_arrival:
+                        future_arrival = retry
+            cur = nxt[cur]
         if future_arrival is not None:
-            candidate = (
-                future_arrival
-                if candidate is None
-                else min(candidate, future_arrival)
-            )
+            if candidate is None or future_arrival < candidate:
+                candidate = future_arrival
 
         if candidate is None and self._incomplete:
             self._diagnose_deadlock()
@@ -739,14 +901,16 @@ class GPUSimulator:
         )
 
     def _advance(self, t_next: float) -> None:
-        """Advance the virtual clocks to ``t_next`` and process completions."""
+        """Advance the virtual clocks to ``t_next`` and drain every finish
+        key within ``_EPS`` — all same-virtual-time completions batch into
+        this one event."""
         dt = t_next - self._now
-        throughput = self._gpu.sm.issue_throughput
         if dt > 0:
             if self._mem_active:
                 self._mem_virtual += (
-                    self._gpu.dram_bandwidth / self._mem_active
+                    self._dram_bw / self._mem_active
                 ) * dt
+            throughput = self._throughput
             for sm_state in self._sms:
                 if sm_state.compute_active:
                     sm_state.virtual += (
@@ -756,33 +920,38 @@ class GPUSimulator:
 
         finished = self._zombies
         self._zombies = []
+        cact, mact = self._tb_cact, self._tb_mact
         heap = self._mem_heap
         v = self._mem_virtual
         while heap and heap[0][0] - v <= _EPS:
-            tb = heapq.heappop(heap)[2]
-            tb.memory_active = False
+            _, seq, slot = heapq.heappop(heap)
+            mact[slot] = False
             self._mem_active -= 1
-            if not tb.compute_active:
-                finished.append(tb)
+            if not cact[slot]:
+                finished.append((seq, slot))
         for sm_state in self._sms:
             heap = sm_state.heap
             v = sm_state.virtual
             while heap and heap[0][0] - v <= _EPS:
-                tb = heapq.heappop(heap)[2]
-                tb.compute_active = False
+                _, seq, slot = heapq.heappop(heap)
+                cact[slot] = False
                 sm_state.compute_active -= 1
-                if not tb.memory_active:
-                    finished.append(tb)
+                if not mact[slot]:
+                    finished.append((seq, slot))
         if finished:
-            finished.sort(key=lambda tb: tb.seq)  # dispatch order
-            for tb in finished:
-                self._complete_tb(tb)
+            finished.sort()  # (seq, slot): dispatch order
+            for _, slot in finished:
+                self._complete_tb(slot)
 
-    def _complete_tb(self, tb: _ResidentTB) -> None:
-        st = self._states[tb.launch.instance_id]
-        sm_state = self._sms[tb.sm]
+    def _complete_tb(self, slot: int) -> None:
+        """Retire one finished block: release resources, log, record."""
+        st = self._tb_state[slot]
+        assert st is not None
+        launch = st.launch
+        iid = launch.instance_id
+        sm = self._tb_sm[slot]
+        sm_state = self._sms[sm]
         sm_state.release(st.kernel)
-        iid = tb.launch.instance_id
         sm_state.resident_total -= 1
         remaining = sm_state.resident_by_instance[iid] - 1
         if remaining:
@@ -790,26 +959,29 @@ class GPUSimulator:
         else:
             del sm_state.resident_by_instance[iid]
         self._resident_total -= 1
-        self._release_log.append(tb.sm)
+        self._release_log.append(sm)
         st.resident_count -= 1
         st.completed_tbs += 1
         assert self._trace is not None
         self._trace.add_tb(
             TBRecord(
-                instance_id=tb.launch.instance_id,
-                logical_id=tb.launch.logical_id or 0,
-                copy_id=tb.launch.copy_id,
-                tb_index=tb.tb_index,
-                sm=tb.sm,
-                start=tb.start,
+                instance_id=iid,
+                logical_id=launch.logical_id or 0,
+                copy_id=launch.copy_id,
+                tb_index=self._tb_index[slot],
+                sm=sm,
+                start=self._tb_start[slot],
                 end=self._now,
-                tag=tb.launch.tag,
+                tag=launch.tag,
             )
         )
-        if st.all_dispatched and st.resident_count == 0:
+        self._tb_state[slot] = None  # drop the reference; recycle the slot
+        self._tb_free.append(slot)
+        if st.next_tb >= st.grid_blocks and st.resident_count == 0:
             self._complete_launch(st)
 
     def _complete_launch(self, st: _LaunchState) -> None:
+        """Close out a fully-finished launch and wake its dependents."""
         st.completion = self._now
         assert st.first_dispatch is not None and st.arrival is not None
         assert self._trace is not None
@@ -836,6 +1008,7 @@ class GPUSimulator:
                 self._assign_arrival(dep_st, ready_at=self._now)
 
     def _check_all_complete(self) -> None:
+        """Raise when the event loop drained with launches unfinished."""
         leftovers = [
             iid for iid, st in self._states.items() if not st.complete
         ]

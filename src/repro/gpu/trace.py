@@ -313,6 +313,7 @@ class ExecutionTrace:
         friendly by achievable overlap).
         """
         def union(iid: int) -> List[Tuple[float, float]]:
+            """Merged residency intervals of one launch's blocks."""
             intervals = sorted(
                 (r.start, r.end)
                 for r in self._by_instance.get(iid, [])

@@ -39,8 +39,17 @@ Quickstart::
     assert report.frames == 10_000 and report.deadline_misses == 0
 """
 
-from repro.streams.arrivals import frame_substream, iter_arrivals
-from repro.streams.analytics import P2Quantile, StreamingMoments, WindowedRates
+from repro.streams.arrivals import (
+    frame_substream,
+    iter_arrivals,
+    substream_factory,
+)
+from repro.streams.analytics import (
+    P2Quantile,
+    StreamAccumulator,
+    StreamingMoments,
+    WindowedRates,
+)
 from repro.streams.jobs import JobProfile, resolve_jobs
 from repro.streams.report import StreamReport
 from repro.streams.runner import run_stream
@@ -48,7 +57,9 @@ from repro.streams.runner import run_stream
 __all__ = [
     "frame_substream",
     "iter_arrivals",
+    "substream_factory",
     "P2Quantile",
+    "StreamAccumulator",
     "StreamingMoments",
     "WindowedRates",
     "JobProfile",

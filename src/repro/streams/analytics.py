@@ -10,22 +10,33 @@ stream analytics are *streaming* folds:
   Welford's algorithm (numerically stable, single pass);
 * :class:`WindowedRates` — tumbling windows over the stream's virtual
   time axis whose per-window throughput and utilisation fold into
-  bounded min/mean/max aggregates (empty windows count as idle).
+  bounded min/mean/max aggregates (empty windows count as idle);
+* :class:`StreamAccumulator` — the fused per-frame fold the stream
+  runner drives: one ``observe()`` call updates latency moments, wait
+  moments, every quantile estimator and the tumbling windows without
+  re-chasing attributes per frame.
 
 All folds are deterministic: feeding the same values in the same order
 produces bit-identical state, which is what lets
 :meth:`~repro.streams.report.StreamReport.digest` promise bit-identity
-across worker/chunk configurations.
+across worker/chunk configurations.  The fused accumulator performs the
+*same floating-point operations in the same order* as the standalone
+classes, so fusing is invisible to report digests.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import StreamError
 
-__all__ = ["P2Quantile", "StreamingMoments", "WindowedRates"]
+__all__ = [
+    "P2Quantile",
+    "StreamAccumulator",
+    "StreamingMoments",
+    "WindowedRates",
+]
 
 
 class P2Quantile:
@@ -40,6 +51,10 @@ class P2Quantile:
     Args:
         q: the tracked quantile, strictly in ``(0, 1)``.
     """
+
+    __slots__ = (
+        "_q", "_heights", "_positions", "_desired", "_increments", "_count",
+    )
 
     def __init__(self, q: float) -> None:
         if not 0.0 < q < 1.0:
@@ -63,20 +78,31 @@ class P2Quantile:
 
     # ------------------------------------------------------------------
     def add(self, x: float) -> None:
-        """Fold one observation into the estimate."""
-        self._count += 1
+        """Fold one observation into the estimate.
+
+        This is the hottest analytics path (one call per quantile per
+        completed frame), so the marker bookkeeping is unrolled and the
+        parabolic/linear height predictions are inlined on locals.  Every
+        floating-point operation matches the textbook formulation
+        operation-for-operation, keeping the fold bit-identical to the
+        previous layered implementation.
+        """
+        count = self._count + 1
+        self._count = count
         heights = self._heights
-        if self._count <= 5:
+        if count <= 5:
             heights.append(x)
             heights.sort()
-            if self._count == 5:
+            if count == 5:
                 self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
                 self._desired = [
                     1.0 + 4.0 * inc for inc in self._increments
                 ]
             return
 
-        positions = self._positions
+        n = self._positions
+        desired = self._desired
+        increments = self._increments
         # locate the cell k with heights[k] <= x < heights[k+1]
         if x < heights[0]:
             heights[0] = x
@@ -88,40 +114,58 @@ class P2Quantile:
             k = 0
             while k < 3 and x >= heights[k + 1]:
                 k += 1
-        for i in range(k + 1, 5):
-            positions[i] += 1.0
-        for i in range(5):
-            self._desired[i] += self._increments[i]
+        if k == 0:
+            n[1] += 1.0
+            n[2] += 1.0
+            n[3] += 1.0
+            n[4] += 1.0
+        elif k == 1:
+            n[2] += 1.0
+            n[3] += 1.0
+            n[4] += 1.0
+        elif k == 2:
+            n[3] += 1.0
+            n[4] += 1.0
+        else:
+            n[4] += 1.0
+        # desired[0] accumulates increments[0] == 0.0 — an exact no-op
+        desired[1] += increments[1]
+        desired[2] += increments[2]
+        desired[3] += increments[3]
+        desired[4] += increments[4]
 
         # adjust the three interior markers toward their desired positions
-        for i in range(1, 4):
-            delta = self._desired[i] - positions[i]
-            if ((delta >= 1.0 and positions[i + 1] - positions[i] > 1.0)
-                    or (delta <= -1.0
-                        and positions[i - 1] - positions[i] < -1.0)):
-                step = 1.0 if delta >= 1.0 else -1.0
-                candidate = self._parabolic(i, step)
-                if heights[i - 1] < candidate < heights[i + 1]:
-                    heights[i] = candidate
-                else:
-                    heights[i] = self._linear(i, step)
-                positions[i] += step
-
-    def _parabolic(self, i: int, step: float) -> float:
-        """Piecewise-parabolic height prediction for marker ``i``."""
-        h, n = self._heights, self._positions
-        return h[i] + step / (n[i + 1] - n[i - 1]) * (
-            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i])
-            / (n[i + 1] - n[i])
-            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1])
-            / (n[i] - n[i - 1])
-        )
-
-    def _linear(self, i: int, step: float) -> float:
-        """Linear fallback when the parabolic prediction leaves its cell."""
-        h, n = self._heights, self._positions
-        j = i + int(step)
-        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+        for i in (1, 2, 3):
+            ni = n[i]
+            delta = desired[i] - ni
+            if delta >= 1.0:
+                nip = n[i + 1]
+                if nip - ni <= 1.0:
+                    continue
+                step = 1.0
+                nim = n[i - 1]
+            elif delta <= -1.0:
+                nim = n[i - 1]
+                if nim - ni >= -1.0:
+                    continue
+                step = -1.0
+                nip = n[i + 1]
+            else:
+                continue
+            hi = heights[i]
+            him = heights[i - 1]
+            hip = heights[i + 1]
+            candidate = hi + step / (nip - nim) * (
+                (ni - nim + step) * (hip - hi) / (nip - ni)
+                + (nip - ni - step) * (hi - him) / (ni - nim)
+            )
+            if him < candidate < hip:
+                heights[i] = candidate
+            elif step == 1.0:
+                heights[i] = hi + step * (hip - hi) / (nip - ni)
+            else:
+                heights[i] = hi + step * (him - hi) / (nim - ni)
+            n[i] = ni + step
 
     # ------------------------------------------------------------------
     @property
@@ -148,6 +192,8 @@ class P2Quantile:
 
 class StreamingMoments:
     """Count, min, max, mean and variance in one pass (Welford)."""
+
+    __slots__ = ("_count", "_min", "_max", "_mean", "_m2")
 
     def __init__(self) -> None:
         self._count = 0
@@ -232,6 +278,12 @@ class WindowedRates:
     Args:
         window_ms: window length in stream milliseconds.
     """
+
+    __slots__ = (
+        "_window_ms", "_current", "_frames_in_window", "_busy_in_window",
+        "_last_t", "_windows", "_fps_min", "_fps_max", "_fps_sum",
+        "_util_min", "_util_max", "_util_sum",
+    )
 
     def __init__(self, window_ms: float) -> None:
         if window_ms <= 0:
@@ -345,4 +397,114 @@ class WindowedRates:
             "util_min": util_min,
             "util_mean": util_sum / windows,
             "util_max": util_max,
+        }
+
+
+class StreamAccumulator:
+    """Fused per-frame analytics fold for the stream runner's hot loop.
+
+    One :meth:`observe` call per completed frame updates the latency
+    Welford moments, the wait Welford moments, every P² quantile
+    estimator and the tumbling windows — the work the runner previously
+    spread over four attribute chains per frame.  The Welford updates
+    are inlined on ``__slots__`` fields and the quantile ``add`` bound
+    methods are pre-resolved, so a frame costs a single method call plus
+    plain local arithmetic.
+
+    Bit-identity: every floating-point operation matches what the
+    standalone :class:`StreamingMoments` / :class:`P2Quantile` /
+    :class:`WindowedRates` sequence performed, in the same order, so
+    fusing never changes a report digest.
+
+    Args:
+        quantiles: latency quantiles to track (one P² estimator each).
+        window_ms: tumbling-window length in stream milliseconds.
+    """
+
+    __slots__ = (
+        "_lat_count", "_lat_min", "_lat_max", "_lat_mean", "_lat_m2",
+        "_wait_count", "_wait_min", "_wait_max", "_wait_mean", "_wait_m2",
+        "estimators", "_est_adds", "windows",
+    )
+
+    def __init__(self, quantiles: Sequence[float], window_ms: float) -> None:
+        self._lat_count = 0
+        self._lat_min = math.inf
+        self._lat_max = -math.inf
+        self._lat_mean = 0.0
+        self._lat_m2 = 0.0
+        self._wait_count = 0
+        self._wait_min = math.inf
+        self._wait_max = -math.inf
+        self._wait_mean = 0.0
+        self._wait_m2 = 0.0
+        self.estimators: Tuple[P2Quantile, ...] = tuple(
+            P2Quantile(q) for q in quantiles
+        )
+        self._est_adds = tuple(e.add for e in self.estimators)
+        self.windows = WindowedRates(window_ms)
+
+    def observe(self, latency: float, wait: float,
+                completion_ms: float, busy_ms: float) -> None:
+        """Fold one completed frame into every statistic.
+
+        Args:
+            latency: the frame's end-to-end latency (completion minus
+                arrival).
+            wait: the frame's queueing wait (begin minus arrival).
+            completion_ms: the frame's completion instant (non-decreasing
+                across calls — enforced by the tumbling windows).
+            busy_ms: GPU busy time the frame consumed.
+        """
+        count = self._lat_count + 1
+        self._lat_count = count
+        if latency < self._lat_min:
+            self._lat_min = latency
+        if latency > self._lat_max:
+            self._lat_max = latency
+        delta = latency - self._lat_mean
+        mean = self._lat_mean + delta / count
+        self._lat_mean = mean
+        self._lat_m2 += delta * (latency - mean)
+
+        count = self._wait_count + 1
+        self._wait_count = count
+        if wait < self._wait_min:
+            self._wait_min = wait
+        if wait > self._wait_max:
+            self._wait_max = wait
+        delta = wait - self._wait_mean
+        mean = self._wait_mean + delta / count
+        self._wait_mean = mean
+        self._wait_m2 += delta * (wait - mean)
+
+        for add in self._est_adds:
+            add(latency)
+        self.windows.observe(completion_ms, busy_ms)
+
+    # ------------------------------------------------------------------
+    def latency_summary(self) -> Dict[str, float]:
+        """Plain-data latency moments (``{"count": 0.0}`` when empty)."""
+        count = self._lat_count
+        if count == 0:
+            return {"count": 0.0}
+        return {
+            "count": float(count),
+            "min": self._lat_min,
+            "max": self._lat_max,
+            "mean": self._lat_mean,
+            "std": math.sqrt(self._lat_m2 / count),
+        }
+
+    def wait_summary(self) -> Dict[str, float]:
+        """Plain-data wait moments (``{"count": 0.0}`` when empty)."""
+        count = self._wait_count
+        if count == 0:
+            return {"count": 0.0}
+        return {
+            "count": float(count),
+            "min": self._wait_min,
+            "max": self._wait_max,
+            "mean": self._wait_mean,
+            "std": math.sqrt(self._wait_m2 / count),
         }

@@ -21,24 +21,33 @@
 
 Determinism contract: the report is a pure function of ``(spec, seed)``.
 Worker counts only parallelise stage 1 (whose results are deterministic
-simulations) and ``chunk_frames`` only batches the arrival generator of
-stage 2 (which always folds frames in index order), so
-``StreamReport.digest()`` is bit-identical across any worker/chunk
-configuration — proven by ``tests/streams/test_stream_runner.py`` and
-measured at soak scale by ``benchmarks/bench_streams.py``.
+simulations) and, for long streams, the *precomputation* of stage 2's
+per-frame substream values (arrival times and fault decision draws —
+indexed pure functions of ``(seed, frame)``); ``chunk_frames`` only
+batches the arrival generator of stage 2 (which always folds frames in
+index order).  ``StreamReport.digest()`` is therefore bit-identical
+across any worker/chunk configuration — proven by
+``tests/streams/test_stream_runner.py`` and measured at soak scale by
+``benchmarks/bench_streams.py``.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from concurrent.futures import ProcessPoolExecutor
 from itertools import islice
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.api.stream import StreamSpec
 from repro.errors import StreamError
 from repro.faults.outcomes import FaultOutcome
-from repro.streams.analytics import P2Quantile, StreamingMoments, WindowedRates
-from repro.streams.arrivals import frame_substream, iter_arrivals
+from repro.streams.analytics import StreamAccumulator
+from repro.streams.arrivals import (
+    frame_substream,
+    iter_arrivals,
+    materialize_arrivals,
+    substream_factory,
+)
 from repro.streams.jobs import JobProfile, resolve_jobs
 from repro.streams.report import StreamReport, quantile_key
 
@@ -47,6 +56,35 @@ __all__ = ["run_stream", "DEFAULT_CHUNK_FRAMES"]
 #: Default frame-loop batch size (purely mechanical; see the module
 #: docstring's determinism contract).
 DEFAULT_CHUNK_FRAMES = 65536
+
+#: Minimum stream length before ``workers > 1`` fans the per-frame
+#: substream precomputation (arrival times, fault decision draws) out to
+#: a process pool.  Below this, pool start-up costs more than the
+#: SHA-256 + Mersenne Twister reseeds it would parallelise.
+_PREDRAW_MIN_FRAMES = 16384
+
+
+def _fault_uniform_chunk(seed: int, lo: int, hi: int) -> List[float]:
+    """First fault-substream uniform of frames ``[lo, hi)`` — pool-safe.
+
+    ``uniforms[i] < probability`` is exactly the fault-injection decision
+    the frame loop would have drawn inline for frame ``lo + i``
+    (substreams are indexed per frame, so precomputation cannot shift any
+    other draw).
+    """
+    sub = substream_factory(seed, "fault")
+    return [sub(index).random() for index in range(lo, hi)]
+
+
+def _arrival_batches(spec: StreamSpec,
+                     chunk_frames: int) -> Iterator[List[float]]:
+    """The stream's arrivals in mechanical batches of ``chunk_frames``."""
+    arrivals = iter_arrivals(spec.arrival, spec.seed)
+    remaining = spec.frames
+    while remaining:
+        batch = list(islice(arrivals, min(chunk_frames, remaining)))
+        remaining -= len(batch)
+        yield batch
 
 
 def run_stream(spec: StreamSpec, *, workers: int = 1,
@@ -57,8 +95,10 @@ def run_stream(spec: StreamSpec, *, workers: int = 1,
 
     Args:
         spec: the declarative stream.
-        workers: process count for the distinct-job simulations
-            (``1`` simulates in-process); never changes the report.
+        workers: process count for the distinct-job simulations and,
+            on streams of at least ``_PREDRAW_MIN_FRAMES`` frames, for
+            precomputing the per-frame substream values (``1`` runs
+            everything in-process); never changes the report.
         chunk_frames: frame-loop batch size (arrival generation is
             batched in chunks of this many frames); never changes the
             report.
@@ -89,10 +129,7 @@ def run_stream(spec: StreamSpec, *, workers: int = 1,
         spec.faults is not None and spec.faults.probability > 0.0
     ) else None
 
-    latency_moments = StreamingMoments()
-    wait_moments = StreamingMoments()
-    estimators = [P2Quantile(q) for q in spec.quantiles]
-    windows = WindowedRates(spec.effective_window_ms)
+    acc = StreamAccumulator(spec.quantiles, spec.effective_window_ms)
 
     completed = dropped = deadline_misses = 0
     injected = masked = detected = sdc = re_executions = 0
@@ -105,52 +142,107 @@ def run_stream(spec: StreamSpec, *, workers: int = 1,
     last_arrival = 0.0
     service_sum = 0.0
 
-    arrivals = iter_arrivals(spec.arrival, spec.seed)
     n_jobs = len(profiles)
+    # hoisted per-frame invariants: the service/busy tables replace a
+    # profile attribute chase + add per frame with one list probe, the
+    # fault substream factory amortises the SHA-256 prefix, and `slot`
+    # tracks `frame % n_jobs` incrementally
+    services = [p.service_ms + service_offset_ms for p in profiles]
+    busys = [p.busy_ms for p in profiles]
+    fault_substream = (
+        substream_factory(spec.seed, "fault") if faults is not None else None
+    )
+    fault_probability = faults.probability if faults is not None else 0.0
+
+    def inject(rng, slot: int, frame: int,
+               service: float, busy: float) -> Tuple[float, float]:
+        # rare path (one call per injected fault): overlay one random
+        # fault on the frame and account its outcome
+        nonlocal injected, masked, detected, sdc, re_executions
+        injected += 1
+        profile = profiles[slot]
+        fault = profile.campaign.random_fault(
+            rng,
+            transient_ccf=faults.transient_ccf,
+            permanent_sm=faults.permanent_sm,
+            seu=faults.seu,
+            phase_quantum=faults.phase_quantum,
+            fault_id=frame,
+        )
+        outcome = profile.campaign.classify(fault).outcome
+        if outcome is FaultOutcome.DETECTED:
+            detected += 1
+            re_executions += 1
+            service += services[slot]
+            busy += busys[slot]
+        elif outcome is FaultOutcome.SDC:
+            sdc += 1
+        else:
+            masked += 1
+        return service, busy
+
+    # workers > 1: fan the pure per-frame substream work (arrival times,
+    # fault decision uniforms) out to a process pool — frame i's draws
+    # are an indexed pure function of (seed, i), so precomputation is
+    # invisible to the report (the digest-equality tests prove it)
+    fault_unis: Optional[List[float]] = None
+    predraw = workers > 1 and spec.frames >= _PREDRAW_MIN_FRAMES and (
+        spec.arrival.model != "periodic" or faults is not None
+    )
+    if predraw:
+        tasks = workers * 4
+        step = -(-spec.frames // tasks)  # ceil division
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            fault_futures = [
+                pool.submit(_fault_uniform_chunk, spec.seed, lo,
+                            min(lo + step, spec.frames))
+                for lo in range(0, spec.frames, step)
+            ] if faults is not None else []
+            arrival_source: Iterable[List[float]] = (materialize_arrivals(
+                spec.arrival, spec.seed, spec.frames,
+                pool=pool, chunks=tasks,
+            ),)
+            if fault_futures:
+                fault_unis = []
+                for future in fault_futures:
+                    fault_unis.extend(future.result())
+    else:
+        arrival_source = _arrival_batches(spec, chunk_frames)
+
+    observe = acc.observe
+    popleft = in_system.popleft
+    enqueue = in_system.append
     frame = 0
-    remaining = spec.frames
-    while remaining:
-        batch = list(islice(arrivals, min(chunk_frames, remaining)))
-        remaining -= len(batch)
+    slot = 0
+    for batch in arrival_source:
         for arrival in batch:
             last_arrival = arrival
             while in_system and in_system[0] <= arrival:
-                in_system.popleft()
+                popleft()
             if len(in_system) >= capacity:
                 dropped += 1
                 frame += 1
+                slot += 1
+                if slot == n_jobs:
+                    slot = 0
                 continue
 
-            profile = profiles[frame % n_jobs]
-            service = profile.service_ms + service_offset_ms
-            busy = profile.busy_ms
-            if faults is not None:
-                rng = frame_substream(spec.seed, "fault", frame)
-                if rng.random() < faults.probability:
-                    injected += 1
-                    fault = profile.campaign.random_fault(
-                        rng,
-                        transient_ccf=faults.transient_ccf,
-                        permanent_sm=faults.permanent_sm,
-                        seu=faults.seu,
-                        phase_quantum=faults.phase_quantum,
-                        fault_id=frame,
-                    )
-                    outcome = profile.campaign.classify(fault).outcome
-                    if outcome is FaultOutcome.DETECTED:
-                        detected += 1
-                        re_executions += 1
-                        service += profile.service_ms + service_offset_ms
-                        busy += profile.busy_ms
-                    elif outcome is FaultOutcome.SDC:
-                        sdc += 1
-                    else:
-                        masked += 1
+            service = services[slot]
+            busy = busys[slot]
+            if fault_unis is not None:
+                if fault_unis[frame] < fault_probability:
+                    rng = frame_substream(spec.seed, "fault", frame)
+                    rng.random()  # replay the predrawn decision draw
+                    service, busy = inject(rng, slot, frame, service, busy)
+            elif fault_substream is not None:
+                rng = fault_substream(frame)
+                if rng.random() < fault_probability:
+                    service, busy = inject(rng, slot, frame, service, busy)
 
             begin = max(arrival, last_completion)
             completion = begin + service
             last_completion = completion
-            in_system.append(completion)
+            enqueue(completion)
             service_sum += service
 
             wait = begin - arrival
@@ -158,14 +250,17 @@ def run_stream(spec: StreamSpec, *, workers: int = 1,
             completed += 1
             if latency > deadline:
                 deadline_misses += 1
-            latency_moments.add(latency)
-            wait_moments.add(wait)
-            for estimator in estimators:
-                estimator.add(latency)
-            windows.observe(completion, busy)
+            observe(latency, wait, completion, busy)
             frame += 1
+            slot += 1
+            if slot == n_jobs:
+                slot = 0
 
     elapsed = max(last_arrival, last_completion)
+    latency_dict = acc.latency_summary()
+    if completed:
+        for estimator in acc.estimators:
+            latency_dict[quantile_key(estimator.q)] = estimator.value
     return StreamReport(
         label=spec.label,
         policy=policy,
@@ -181,31 +276,14 @@ def run_stream(spec: StreamSpec, *, workers: int = 1,
         faults_detected=detected,
         faults_sdc=sdc,
         re_executions=re_executions,
-        latency=_moment_dict(latency_moments, estimators),
-        wait=_moment_dict(wait_moments, None),
+        latency=latency_dict,
+        wait=acc.wait_summary(),
         service=_service_table(profiles),
         elapsed_ms=elapsed,
         throughput_fps=(completed / (elapsed / 1000.0)) if elapsed else 0.0,
         utilisation=min(1.0, service_sum / elapsed) if elapsed else 0.0,
-        windows=windows.summary(),
+        windows=acc.windows.summary(),
     )
-
-
-def _moment_dict(moments: StreamingMoments,
-                 estimators: Optional[List[P2Quantile]]) -> Dict[str, float]:
-    """Plain-data form of one online statistic set."""
-    if moments.count == 0:
-        return {"count": 0.0}
-    out = {
-        "count": float(moments.count),
-        "min": moments.minimum,
-        "max": moments.maximum,
-        "mean": moments.mean,
-        "std": moments.std,
-    }
-    for estimator in estimators or ():
-        out[quantile_key(estimator.q)] = estimator.value
-    return out
 
 
 def _service_table(profiles: List[JobProfile]) -> Dict[str, float]:

@@ -251,6 +251,61 @@ class TestStress:
         ]
         assert_equivalent(gpu, launches, "srrs", seed=-4)
 
+    def test_heterogeneous_footprints_many_eligibility_classes(self):
+        """Mixed resource footprints stress the cached candidate-SM sets.
+
+        Every (threads, regs, shared-mem) combination is a distinct
+        eligibility class, so the incremental core must maintain many
+        cached candidate lists and invalidate the right ones as blocks
+        retire — a regime the single-class throughput benchmark
+        (``large_grid_heterogeneous``) never enters.
+        """
+        gpu = self._wide_gpu(16)
+        launches = [
+            KernelLaunch(
+                kernel=KernelDescriptor(
+                    name=f"stress/mixed{i}",
+                    grid_blocks=8 + (i % 5) * 4,
+                    threads_per_block=(64, 128, 256)[i % 3],
+                    regs_per_thread=(8, 16, 32)[(i // 3) % 3],
+                    shared_mem_per_block=(0, 2048, 8192)[(i // 9) % 3],
+                    work_per_block=350.0 + 11.0 * i,
+                    bytes_per_block=120.0 + 5.0 * i,
+                ),
+                instance_id=i,
+                copy_id=i % 2,
+                logical_id=i // 2,
+                arrival_offset=(0.0, 0.0, 750.0)[i % 3],
+            )
+            for i in range(54)
+        ]
+        assert_equivalent(gpu, launches, "default", seed=-5)
+        assert_equivalent(gpu, launches, "staggered", seed=-5)
+
+    def test_same_virtual_time_tie_burst_batches_completions(self):
+        """Identical blocks finish at identical virtual times.
+
+        Equal-work blocks placed together complete together, so the
+        event loop must drain whole tie groups per advance instead of
+        one completion per event: the event count stays far below the
+        block count.  The reference core must agree bit-for-bit on the
+        resulting trace *and* on the event count.
+        """
+        gpu = self._wide_gpu(32)
+        kernel = KernelDescriptor(
+            name="stress/tie", grid_blocks=512, threads_per_block=128,
+            work_per_block=640.0, bytes_per_block=256.0,
+        )
+        launches = [
+            KernelLaunch(kernel=kernel, instance_id=i) for i in range(8)
+        ]
+        assert_equivalent(gpu, launches, "default", seed=-6)
+        res = GPUSimulator(gpu, DefaultScheduler()).run(launches)
+        blocks = len(res.trace.tb_records)
+        assert blocks == 8 * 512
+        # every SM's resident blocks complete as one tie group per wave
+        assert res.events < blocks / 8, (res.events, blocks)
+
     def test_deterministic_across_repeat_runs(self):
         gpu = self._wide_gpu(8)
         rng = random.Random(99)
