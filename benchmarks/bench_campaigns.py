@@ -25,8 +25,21 @@ import time
 from _bench_artifacts import BenchArtifact
 
 from repro.analysis.campaigns import campaign_worker_scaling
-from repro.api import CampaignSpec, FaultPlanSpec, RunSpec, WorkloadSpec
-from repro.campaigns import CampaignStore, campaign_status, resume_campaign, run_campaign
+from repro.api import (
+    CampaignSpec,
+    FaultPlanSpec,
+    RepeatSpec,
+    RunSpec,
+    SamplingSpec,
+    WorkloadSpec,
+)
+from repro.campaigns import (
+    CampaignStore,
+    campaign_status,
+    repeat_campaign,
+    resume_campaign,
+    run_campaign,
+)
 
 _ARTIFACT = BenchArtifact(
     "BENCH_campaigns.json", "bench-campaigns/v2",
@@ -125,3 +138,111 @@ def test_campaign_worker_scaling(benchmark):
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     assert [row.workers for row in rows] == [1, 2, 4]
     assert all(row.injections == 20_000 for row in rows)
+
+
+def _default_policy_plan(total: int, *, seed: int = 11) -> FaultPlanSpec:
+    """The rare-SDC population: 90% CCF / 5% permanent SM / 5% SEU.
+
+    Under the ``default`` policy only permanent SM defects produce
+    silent corruptions, so the SDC rate is a rare event (~2%) and the
+    uniform census needs tens of thousands of injections to pin it down.
+    """
+    ccf = total * 90 // 100
+    perm = total * 5 // 100
+    seu = total - ccf - perm
+    return FaultPlanSpec(transient_ccf=ccf, permanent_sm=perm, seu=seu,
+                         seed=seed)
+
+
+def test_campaign_sampling_efficiency(benchmark):
+    """BENCH scenario ``campaign/sampling_efficiency``: the acceptance
+    criterion of the statistics layer — a stratified campaign that
+    oversamples the rare permanent-SM stratum reaches a ±10% relative
+    CI half-width on the SDC rate with >= 10x fewer injections than the
+    uniform census, while staying bit-deterministic and reweighting the
+    estimate back to the nominal fault mix.
+    """
+    target = 0.10
+    run_spec = RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                       policy="default")
+
+    def run():
+        # uniform baseline: double the census until the CI target is met
+        t0 = time.perf_counter()
+        uniform_report = None
+        uniform_est = None
+        uniform_n = None
+        for total in (2_000, 4_000, 8_000, 16_000, 32_000, 64_000):
+            uniform_report = run_campaign(
+                CampaignSpec(run=run_spec,
+                             faults=_default_policy_plan(total),
+                             shards=8),
+                workers=4,
+            )
+            uniform_est = uniform_report.rate_interval("sdc")
+            if uniform_est.relative_half_width <= target:
+                uniform_n = total
+                break
+        uniform_s = time.perf_counter() - t0
+        assert uniform_n is not None
+
+        results = {}
+        for method in ("stratified", "importance"):
+            t0 = time.perf_counter()
+            spec = CampaignSpec(
+                run=run_spec,
+                faults=_default_policy_plan(64_000),
+                sampling=SamplingSpec(method=method, transient_ccf=1,
+                                      permanent_sm=8, seu=1),
+                repeat=RepeatSpec(metric="sdc",
+                                  relative_half_width=target,
+                                  batch=500, max_total=64_000),
+            )
+            result = repeat_campaign(spec, workers=4).check()
+            results[method] = (result, time.perf_counter() - t0)
+
+        stratified, stratified_s = results["stratified"]
+        importance, importance_s = results["importance"]
+        gain = uniform_n / stratified.total
+        assert gain >= 10.0, (
+            f"stratified sampling must beat the uniform census 10x: "
+            f"{uniform_n} vs {stratified.total} injections ({gain:.1f}x)"
+        )
+        assert importance.total < uniform_n
+
+        # the reweighted estimates and the census measure the same rate
+        assert abs(stratified.estimate.rate - uniform_est.rate) < 0.01
+
+        _record(
+            "campaign/sampling_efficiency",
+            target_relative_half_width=target,
+            uniform_injections=uniform_n,
+            uniform_relative_half_width=round(
+                uniform_est.relative_half_width, 4),
+            uniform_sdc_events=uniform_report.sdc,
+            uniform_sdc_trials=uniform_report.total,
+            uniform_s=round(uniform_s, 3),
+            stratified_injections=stratified.total,
+            stratified_batches=stratified.batches,
+            stratified_relative_half_width=round(
+                stratified.estimate.relative_half_width, 4),
+            stratified_sdc_rate=round(stratified.estimate.rate, 5),
+            stratified_sdc_events=stratified.report.sdc,
+            stratified_sdc_trials=stratified.report.total,
+            stratified_s=round(stratified_s, 3),
+            importance_injections=importance.total,
+            importance_relative_half_width=round(
+                importance.estimate.relative_half_width, 4),
+            importance_sdc_events=importance.report.sdc,
+            importance_sdc_trials=importance.report.total,
+            importance_s=round(importance_s, 3),
+            efficiency_gain_stratified=round(gain, 1),
+            efficiency_gain_importance=round(
+                uniform_n / importance.total, 1),
+            stratified_digest=stratified.report.digest(),
+        )
+        return stratified
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.converged
+    assert result.estimate.relative_half_width <= target

@@ -36,7 +36,12 @@ Top-level packages:
   figure, and report rendering;
 * :mod:`repro.lint` — AST-based determinism-contract checker (rule
   engine, RL001…RL008 catalogue, inline suppressions, CI gate) keeping
-  the bit-identity promise machine-enforced (``docs/LINT.md``).
+  the bit-identity promise machine-enforced (``docs/LINT.md``);
+* :mod:`repro.stats` — campaign/stream statistics: Wilson, normal and
+  bootstrap confidence intervals, stratified / importance-sampled rate
+  estimators with Horvitz–Thompson reweighting, repeat-until-confidence
+  stopping, and the two-artifact significance comparison behind
+  ``python -m repro compare`` (``docs/STATISTICS.md``).
 
 Quickstart — one declarative run::
 
@@ -71,10 +76,12 @@ from repro.errors import (
     LintError,
     PlatformError,
     RedundancyError,
+    RepeatBudgetError,
     ReproError,
     SafetyViolation,
     SchedulingError,
     SimulationError,
+    StatsError,
     StreamError,
     WorkerCountError,
 )
@@ -104,7 +111,7 @@ from repro.redundancy import (
 )
 from repro.workloads import classify_kernel, get_benchmark
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 # the api and campaigns packages import repro.__version__ lazily at run
 # time, so these imports must stay below the version assignment
@@ -118,8 +125,10 @@ from repro.api import (
     KernelSpec,
     PlacementSpec,
     PlatformSpec,
+    RepeatSpec,
     RunArtifact,
     RunSpec,
+    SamplingSpec,
     StreamFaultSpec,
     StreamSpec,
     WorkloadSpec,
@@ -132,10 +141,17 @@ from repro.api import (
 from repro.campaigns import (
     CampaignStore,
     campaign_status,
+    repeat_campaign,
     resume_campaign,
     run_campaign,
 )
-from repro.streams import StreamReport, run_stream
+from repro.stats import (
+    RateEstimate,
+    RepeatResult,
+    compare_artifacts,
+    wilson_interval,
+)
+from repro.streams import StreamReport, repeat_stream, run_stream
 from repro.platform import PlatformReport, plan_placement, run_platform
 
 __all__ = [
@@ -153,6 +169,8 @@ __all__ = [
     "PlatformError",
     "WorkerCountError",
     "LintError",
+    "StatsError",
+    "RepeatBudgetError",
     # gpu
     "GPUConfig",
     "SMConfig",
@@ -197,13 +215,22 @@ __all__ = [
     "CampaignStore",
     "run_campaign",
     "resume_campaign",
+    "repeat_campaign",
     "campaign_status",
+    # statistics
+    "SamplingSpec",
+    "RepeatSpec",
+    "RateEstimate",
+    "RepeatResult",
+    "wilson_interval",
+    "compare_artifacts",
     # streams
     "StreamSpec",
     "ArrivalSpec",
     "StreamFaultSpec",
     "StreamReport",
     "run_stream",
+    "repeat_stream",
     # platform
     "PlatformSpec",
     "DeviceSpec",

@@ -61,6 +61,7 @@ from repro.api.spec import (
     SMSpec,
     WorkloadSpec,
 )
+from repro.api.stats import RepeatSpec, SamplingSpec
 from repro.api.stream import ArrivalSpec, StreamFaultSpec, StreamSpec
 from repro.api.platform import DeviceSpec, PlacementSpec, PlatformSpec
 
@@ -80,6 +81,8 @@ __all__ = [
     "DeviceSpec",
     "PlacementSpec",
     "PlatformSpec",
+    "SamplingSpec",
+    "RepeatSpec",
     # artifacts
     "RunArtifact",
     "TimingSummary",

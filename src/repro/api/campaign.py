@@ -31,9 +31,13 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
 from repro.api.spec import FaultPlanSpec, RunSpec, _check_keys
-from repro.errors import ConfigurationError
+from repro.api.stats import RepeatSpec, SamplingSpec
+from repro.errors import ConfigurationError, FaultInjectionError
 
 __all__ = ["CampaignSpec"]
+
+#: Campaign rates a :class:`~repro.api.stats.RepeatSpec` may target.
+CAMPAIGN_REPEAT_METRICS = ("masked", "detected", "sdc")
 
 
 @dataclass(frozen=True)
@@ -53,12 +57,27 @@ class CampaignSpec:
             campaign size).
         shard_size: target injections per shard (the runner derives the
             shard count from it).
+        sampling: optional v2 sampling design
+            (:class:`~repro.api.stats.SamplingSpec`): reallocate the
+            injection budget across fault kinds (stratified block layout
+            or importance proposal), with estimates reweighted to the
+            nominal mix of ``faults``.  ``None`` keeps the bit-stable
+            legacy uniform population.
+        repeat: optional repeat-until-confidence rule
+            (:class:`~repro.api.stats.RepeatSpec`).  Requires
+            ``sampling`` (only the v2 layouts are prefix-stable, i.e.
+            extendable without changing already-injected faults); the
+            rule's ``batch`` becomes the shard size, so ``shards`` /
+            ``shard_size`` must stay unset, and ``total_injections``
+            becomes the rule's ``max_total`` budget cap.
     """
 
     run: RunSpec
     faults: FaultPlanSpec = field(default_factory=FaultPlanSpec)
     shards: Optional[int] = None
     shard_size: Optional[int] = None
+    sampling: Optional[SamplingSpec] = None
+    repeat: Optional[RepeatSpec] = None
 
     def __post_init__(self) -> None:
         if not self.run.simulate:
@@ -88,11 +107,45 @@ class CampaignSpec:
             raise ConfigurationError("shards must be >= 1")
         if self.shard_size is not None and self.shard_size < 1:
             raise ConfigurationError("shard_size must be >= 1")
+        if self.sampling is not None:
+            try:
+                self.sampling.to_config().validate_support(
+                    self.faults.to_config()
+                )
+            except FaultInjectionError as exc:
+                raise ConfigurationError(str(exc)) from None
+        if self.repeat is not None:
+            if self.sampling is None:
+                raise ConfigurationError(
+                    "repeat-until-confidence requires a sampling design: "
+                    "the legacy (v1) population layout is segmented by "
+                    "kind and cannot be extended without changing "
+                    "already-injected faults — set CampaignSpec.sampling"
+                )
+            if self.shards is not None or self.shard_size is not None:
+                raise ConfigurationError(
+                    "a repeated campaign derives its shard size from "
+                    "repeat.batch; leave shards/shard_size unset"
+                )
+            if self.repeat.metric not in CAMPAIGN_REPEAT_METRICS:
+                raise ConfigurationError(
+                    f"unknown campaign repeat metric "
+                    f"{self.repeat.metric!r}; known: "
+                    + ", ".join(CAMPAIGN_REPEAT_METRICS)
+                )
 
     # ------------------------------------------------------------------
     @property
     def total_injections(self) -> int:
-        """Campaign size: the number of faults the plan injects."""
+        """Campaign size: the number of faults the plan injects.
+
+        A repeated campaign's size is its budget cap
+        (``repeat.max_total``) — the shard plan spans the whole budget
+        up front, and the repeater stops at the first shard prefix whose
+        confidence interval meets the target.
+        """
+        if self.repeat is not None:
+            return self.repeat.max_total
         return self.faults.transient_ccf + self.faults.permanent_sm + self.faults.seu
 
     @property
@@ -104,13 +157,23 @@ class CampaignSpec:
     # serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-data form (nested dicts/lists, JSON-compatible)."""
-        return {
+        """Plain-data form (nested dicts/lists, JSON-compatible).
+
+        The ``sampling`` / ``repeat`` keys are emitted only when set, so
+        legacy specs keep their exact historical JSON form (and
+        therefore their :attr:`config_hash`).
+        """
+        data: Dict[str, Any] = {
             "run": self.run.to_dict(),
             "faults": self.faults.to_dict(),
             "shards": self.shards,
             "shard_size": self.shard_size,
         }
+        if self.sampling is not None:
+            data["sampling"] = self.sampling.to_dict()
+        if self.repeat is not None:
+            data["repeat"] = self.repeat.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
@@ -128,6 +191,14 @@ class CampaignSpec:
             payload["faults"] = FaultPlanSpec.from_dict(payload["faults"])
         else:
             payload.pop("faults", None)
+        if payload.get("sampling") is not None:
+            payload["sampling"] = SamplingSpec.from_dict(payload["sampling"])
+        else:
+            payload.pop("sampling", None)
+        if payload.get("repeat") is not None:
+            payload["repeat"] = RepeatSpec.from_dict(payload["repeat"])
+        else:
+            payload.pop("repeat", None)
         return cls(**payload)
 
     def to_json(self, *, indent: Optional[int] = None) -> str:

@@ -37,10 +37,13 @@ run|resume|status|report``; the determinism contract is documented in
 from repro.campaigns.runner import (
     CampaignStatus,
     baseline_campaign,
+    campaign_plan,
     campaign_status,
     fold_report,
+    repeat_campaign,
     resume_campaign,
     run_campaign,
+    spec_sampling_meta,
     validated_records,
 )
 from repro.campaigns.sharding import DEFAULT_SHARDS, Shard, plan_shards
@@ -53,10 +56,13 @@ __all__ = [
     "Shard",
     "ShardRecord",
     "baseline_campaign",
+    "campaign_plan",
     "campaign_status",
     "fold_report",
     "plan_shards",
+    "repeat_campaign",
     "resume_campaign",
     "run_campaign",
+    "spec_sampling_meta",
     "validated_records",
 ]

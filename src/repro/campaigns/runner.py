@@ -38,22 +38,33 @@ from repro.campaigns.store import (
     CampaignStore,
     ShardRecord,
 )
-from repro.errors import CampaignError
+from repro.errors import CampaignError, StatsError
 from repro.faults.campaign import (
     SDC_SAMPLE_LIMIT,
     CampaignReport,
     FaultCampaign,
+    sampling_metadata,
 )
 from repro.faults.outcomes import FaultOutcome
 from repro.redundancy.manager import RedundantKernelManager
+from repro.stats.intervals import RateEstimate
+from repro.stats.repeater import (
+    STOP_BUDGET,
+    STOP_TARGET,
+    RepeatResult,
+    target_met,
+)
 
 __all__ = [
     "CampaignStatus",
     "baseline_campaign",
+    "campaign_plan",
     "campaign_status",
     "fold_report",
+    "repeat_campaign",
     "resume_campaign",
     "run_campaign",
+    "spec_sampling_meta",
     "validated_records",
 ]
 
@@ -116,10 +127,11 @@ def _execute_shard(task: Tuple[str, int, int, int, bool]) -> ShardRecord:
     spec = CampaignSpec.from_json(spec_json)
     campaign = baseline_campaign(spec.run, validate=validate)
     config = spec.faults.to_config(seed=spec.run.seed)
+    sampling = spec.sampling.to_config() if spec.sampling is not None else None
     counts: Dict[str, Dict[str, int]] = {}
     sdc_samples: List[str] = []
     for index in range(start, stop):
-        fault = campaign.fault_at(config, index)
+        fault = campaign.fault_at(config, index, sampling=sampling)
         result = campaign.classify(fault)
         kind = type(fault).__name__
         bucket = counts.setdefault(kind, {})
@@ -141,7 +153,28 @@ def _execute_shard(task: Tuple[str, int, int, int, bool]) -> ShardRecord:
 # ----------------------------------------------------------------------
 # aggregate fold
 # ----------------------------------------------------------------------
-def fold_report(records: Iterable[ShardRecord]) -> CampaignReport:
+def _record_by_kind(record: ShardRecord
+                    ) -> Dict[str, Dict[FaultOutcome, int]]:
+    """A shard record's counts table keyed by outcome enum, not store key."""
+    return {
+        kind: {OUTCOMES_BY_KEY[key]: count for key, count in bucket.items()}
+        for kind, bucket in record.counts.items()
+    }
+
+
+def spec_sampling_meta(spec: CampaignSpec) -> Optional[Dict[str, object]]:
+    """The spec's report-level sampling block, ``None`` for legacy specs."""
+    if spec.sampling is None:
+        return None
+    return sampling_metadata(
+        spec.faults.to_config(seed=spec.run.seed),
+        spec.sampling.to_config(),
+    )
+
+
+def fold_report(records: Iterable[ShardRecord], *,
+                sampling: Optional[Dict[str, object]] = None
+                ) -> CampaignReport:
     """Fold shard records (any order) into one aggregate report.
 
     Records are folded in shard-index order, so the bounded
@@ -149,6 +182,14 @@ def fold_report(records: Iterable[ShardRecord]) -> CampaignReport:
     :data:`~repro.faults.campaign.SDC_SAMPLE_LIMIT` SDC labels in fault-
     index order — independent of completion order, worker count or shard
     boundaries.
+
+    Args:
+        records: completed shard records (any order, any subset).
+        sampling: sampling-metadata block
+            (:func:`~repro.faults.campaign.sampling_metadata`) of the
+            design the shards were drawn under; ``None`` for the legacy
+            uniform population.  When set, the aggregate reweights its
+            rate estimates and emits the versioned v2 report keys.
 
     Raises:
         CampaignError: on an empty record set or disagreeing policies.
@@ -163,14 +204,29 @@ def fold_report(records: Iterable[ShardRecord]) -> CampaignReport:
         )
     report = CampaignReport(policy=ordered[0].policy)
     for record in ordered:
-        by_kind = {
-            kind: {
-                OUTCOMES_BY_KEY[key]: count for key, count in bucket.items()
-            }
-            for kind, bucket in record.counts.items()
-        }
-        report.merge_counts(by_kind, sdc_samples=record.sdc_samples)
+        report.merge_counts(_record_by_kind(record),
+                            sdc_samples=record.sdc_samples,
+                            sampling=sampling)
     return report
+
+
+# ----------------------------------------------------------------------
+# planning
+# ----------------------------------------------------------------------
+def campaign_plan(spec: CampaignSpec) -> Tuple[Shard, ...]:
+    """The spec's shard plan — the one every runner entry point uses.
+
+    A fixed-size campaign shards by the spec's ``shards`` /
+    ``shard_size`` knobs; a repeat-until-confidence campaign spans its
+    whole ``repeat.max_total`` budget in ``repeat.batch``-sized shards,
+    so the plan — and therefore every persisted shard's index range —
+    is identical whether the repeater stops early or runs to the cap.
+    """
+    if spec.repeat is not None:
+        return plan_shards(spec.total_injections,
+                           shard_size=spec.repeat.batch)
+    return plan_shards(spec.total_injections, shards=spec.shards,
+                       shard_size=spec.shard_size)
 
 
 # ----------------------------------------------------------------------
@@ -227,8 +283,7 @@ def campaign_status(store: Union[CampaignStore, str, Path]) -> CampaignStatus:
     """
     store = _as_store(store)
     spec = store.load_spec()
-    plan = plan_shards(spec.total_injections, shards=spec.shards,
-                       shard_size=spec.shard_size)
+    plan = campaign_plan(spec)
     records = validated_records(store, plan)
     totals: Dict[FaultOutcome, int] = {}
     for record in records.values():
@@ -315,13 +370,18 @@ def run_campaign(spec: CampaignSpec, *,
         for any ``shards``/``workers``/resume history.
 
     Raises:
-        CampaignError: on store/spec mismatches, corrupt artifacts, or an
-            invalid worker count.
+        CampaignError: on store/spec mismatches, corrupt artifacts, an
+            invalid worker count, or a repeat-until-confidence spec
+            (those run via :func:`repeat_campaign`).
     """
     if workers < 1:
         raise CampaignError("workers must be >= 1")
-    plan = plan_shards(spec.total_injections, shards=spec.shards,
-                       shard_size=spec.shard_size)
+    if spec.repeat is not None:
+        raise CampaignError(
+            "this spec carries a repeat-until-confidence rule — run it "
+            "with repeat_campaign(), which owns the stopping decision"
+        )
+    plan = campaign_plan(spec)
     store = _as_store(store)
     done: Dict[int, ShardRecord] = {}
     if store is not None:
@@ -343,7 +403,7 @@ def run_campaign(spec: CampaignSpec, *,
                 store.append(record)
             done[record.shard] = record
 
-    return fold_report(done.values())
+    return fold_report(done.values(), sampling=spec_sampling_meta(spec))
 
 
 def _execute(tasks: List[Tuple[str, int, int, int, bool]],
@@ -363,16 +423,173 @@ def _execute(tasks: List[Tuple[str, int, int, int, bool]],
 def resume_campaign(store: Union[CampaignStore, str, Path], *,
                     workers: int = 1,
                     max_shards: Optional[int] = None,
-                    validate: bool = True) -> CampaignReport:
+                    validate: bool = True
+                    ) -> Union[CampaignReport, RepeatResult]:
     """Continue a persisted campaign from its manifest alone.
 
-    Loads the :class:`~repro.api.campaign.CampaignSpec` from the store and
-    delegates to :func:`run_campaign`, which skips finished shards.
+    Loads the :class:`~repro.api.campaign.CampaignSpec` from the store
+    and delegates to :func:`run_campaign` (fixed-size specs) or
+    :func:`repeat_campaign` (repeat-until-confidence specs), both of
+    which skip finished shards.
 
     Raises:
-        CampaignError: when the store has no (valid) manifest.
+        CampaignError: when the store has no (valid) manifest, or when
+            ``max_shards`` is combined with a repeat spec (the repeater
+            owns the stopping decision).
     """
     store = _as_store(store)
     spec = store.load_spec()
+    if spec.repeat is not None:
+        if max_shards is not None:
+            raise CampaignError(
+                "max_shards does not apply to a repeat-until-confidence "
+                "campaign — the stopping rule decides when to stop"
+            )
+        return repeat_campaign(spec, store=store, workers=workers,
+                               validate=validate)
     return run_campaign(spec, store=store, workers=workers,
                         max_shards=max_shards, validate=validate)
+
+
+# ----------------------------------------------------------------------
+# repeat-until-confidence
+# ----------------------------------------------------------------------
+def repeat_campaign(spec: CampaignSpec, *,
+                    store: Union[CampaignStore, str, Path, None] = None,
+                    workers: int = 1,
+                    validate: bool = True) -> RepeatResult:
+    """Extend a campaign batch-by-batch until its CI target is met.
+
+    The SHARP-style repeater: the shard plan spans the whole
+    ``repeat.max_total`` budget in ``repeat.batch``-sized shards, and
+    the run stops at the **first shard prefix** whose confidence
+    interval on ``repeat.metric`` satisfies the target.  Because every
+    shard regenerates its faults from the indexed seed schedule and the
+    stop point is a pure function of the folded data prefix — never of
+    scheduling — the returned aggregate is bit-identical for any worker
+    count or kill/resume history.  Workers may overshoot the stop point
+    by up to one wave of shards; overshoot shards stay checkpointed in
+    the store (resume finds the same stop point and ignores them) but
+    are excluded from the returned fold.
+
+    Args:
+        spec: a campaign spec with both ``sampling`` and ``repeat`` set.
+        store: checkpoint/resume directory, as in :func:`run_campaign`.
+        workers: process count; also the wave size between stopping-rule
+            evaluations.
+        validate: forward the simulator's trace-validation switch.
+
+    Returns:
+        A :class:`~repro.stats.repeater.RepeatResult`.  ``converged`` is
+        ``False`` when the budget cap was exhausted first — call
+        :meth:`~repro.stats.repeater.RepeatResult.check` to raise that
+        as a typed :class:`~repro.errors.RepeatBudgetError`.
+
+    Raises:
+        CampaignError: when the spec has no repeat rule, on store/spec
+            mismatches, or an invalid worker count.
+        StatsError: when no prefix of the budget yields a well-defined
+            estimate (e.g. a sampled stratum never drawn).
+    """
+    if spec.repeat is None:
+        raise CampaignError(
+            "repeat_campaign needs a spec with a repeat rule — use "
+            "run_campaign for fixed-size campaigns"
+        )
+    if workers < 1:
+        raise CampaignError("workers must be >= 1")
+    repeat = spec.repeat
+    plan = campaign_plan(spec)
+    store = _as_store(store)
+    done: Dict[int, ShardRecord] = {}
+    if store is not None:
+        store.initialise(spec)
+        done = validated_records(store, plan)
+
+    meta = spec_sampling_meta(spec)
+    running = CampaignReport(policy="")
+    history: List[RateEstimate] = []
+    folded = 0          # shards merged into ``running`` (prefix length)
+    stopped = False     # first satisfying prefix found
+    last_stats_error: Optional[StatsError] = None
+
+    def _advance() -> bool:
+        """Fold/evaluate newly contiguous prefixes; True once satisfied."""
+        nonlocal folded, stopped, running, last_stats_error
+        while not stopped and folded < len(plan) and folded in done:
+            record = done[folded]
+            if folded == 0:
+                running = CampaignReport(policy=record.policy)
+            elif record.policy != running.policy:
+                raise CampaignError(
+                    f"shards disagree on the attacked policy: "
+                    f"{sorted({record.policy, running.policy})}"
+                )
+            running.merge_counts(_record_by_kind(record),
+                                 sdc_samples=record.sdc_samples,
+                                 sampling=meta)
+            folded += 1
+            try:
+                estimate = running.rate_interval(
+                    repeat.metric, confidence=repeat.confidence,
+                    method=repeat.interval,
+                )
+            except StatsError as exc:
+                # A partial fold can miss a stratum entirely; the target
+                # is simply not met yet.  Pure function of the prefix,
+                # so every worker/resume history skips the same points.
+                last_stats_error = exc
+                continue
+            history.append(estimate)
+            if target_met(
+                    estimate,
+                    relative_half_width=repeat.relative_half_width,
+                    half_width=repeat.half_width):
+                stopped = True
+        return stopped
+
+    _advance()
+    while not stopped:
+        pending = [shard for shard in plan if shard.index not in done]
+        if not pending:
+            break
+        wave = pending[:workers]
+        spec_json = spec.to_json()
+        tasks = [
+            (spec_json, shard.index, shard.start, shard.stop, validate)
+            for shard in wave
+        ]
+        for record in _execute(tasks, workers):
+            if store is not None:
+                store.append(record)
+            done[record.shard] = record
+        _advance()
+
+    if not history:
+        raise StatsError(
+            f"no prefix of the {spec.total_injections}-injection budget "
+            f"yields a well-defined {repeat.metric!r} estimate"
+            + (f": {last_stats_error}" if last_stats_error else "")
+        )
+    estimate = history[-1]
+    error = None
+    if not stopped:
+        target = (f"relative half-width <= {repeat.relative_half_width}"
+                  if repeat.relative_half_width is not None
+                  else f"half-width <= {repeat.half_width}")
+        error = (
+            f"budget of {repeat.max_total} injections exhausted with the "
+            f"{repeat.metric!r} interval at {estimate.describe()} — "
+            f"target {target} not met"
+        )
+    return RepeatResult(
+        metric=repeat.metric,
+        converged=stopped,
+        stop_reason=STOP_TARGET if stopped else STOP_BUDGET,
+        batches=folded,
+        total=running.total,
+        estimate=estimate,
+        report=running,
+        history=tuple(history),
+        error=error,
+    )

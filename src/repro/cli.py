@@ -52,6 +52,18 @@ Determinism-contract linter (:mod:`repro.lint`)::
 ``lint`` exits 1 when violations are found (the CI gate) and 2 when the
 linter itself is misconfigured.
 
+Statistical significance diff (:mod:`repro.stats`)::
+
+    python -m repro compare old.json new.json           # same-kind artifacts
+    python -m repro compare a.json b.json --alpha 0.01
+    python -m repro compare a.json b.json --json        # repro-compare/v1
+
+``compare`` accepts two campaign reports, two stream reports or two
+BENCH artifacts, runs a two-proportion z-test plus a bootstrap
+difference interval on every shared rate, and exits like ``diff``:
+0 = statistically indistinguishable, 1 = at least one significant
+difference, 2 = misuse (unreadable file, mismatched kinds).
+
 Options: ``--sms N`` changes the GPU size for the simulated artifacts,
 ``--benchmark NAME`` selects the workload for ``coverage``;
 ``python -m repro --version`` prints the package version.
@@ -87,10 +99,12 @@ from repro.api.spec import RunSpec
 from repro.api.stream import StreamSpec
 from repro.campaigns import (
     CampaignStore,
+    campaign_plan,
     campaign_status,
     fold_report,
-    plan_shards,
+    repeat_campaign,
     run_campaign,
+    spec_sampling_meta,
     validated_records,
 )
 from repro.errors import (
@@ -98,6 +112,7 @@ from repro.errors import (
     ConfigurationError,
     LintError,
     ReproError,
+    StatsError,
 )
 from repro.faults.campaign import CampaignReport
 from repro.lint import load_config, run_lint
@@ -106,6 +121,8 @@ from repro.iso26262.decomposition import FIGURE1_EXAMPLES
 from repro.platform.placement import plan_placement
 from repro.platform.report import PlatformReport
 from repro.platform.runner import run_platform
+from repro.stats.compare import compare_artifacts, render_comparison
+from repro.stats.repeater import RepeatResult
 from repro.streams.report import StreamReport
 from repro.streams.runner import run_stream
 
@@ -334,6 +351,28 @@ def _campaign_report_text(report: CampaignReport, *, as_json: bool,
     samples = data["sdc_samples"]
     if samples:
         table += "\nSDC examples: " + "; ".join(samples)
+    if report.sampling is not None:
+        try:
+            table += "\nSDC rate: " + report.rate_interval("sdc").describe()
+        except StatsError:
+            pass
+    return table
+
+
+def _repeat_result_text(result: RepeatResult, *, as_json: bool,
+                        title: str) -> str:
+    if as_json:
+        return json.dumps(result.to_dict(), sort_keys=True, indent=2)
+    estimate = result.estimate
+    table = render_table(
+        ["metric", "estimate", "CI", "batches", "n", "stop"],
+        [[result.metric, f"{estimate.rate:.6f}",
+          f"[{estimate.low:.6f}, {estimate.high:.6f}]",
+          result.batches, result.total, result.stop_reason]],
+        title=title,
+    )
+    if result.error:
+        table += f"\nWARNING: {result.error}"
     return table
 
 
@@ -359,6 +398,19 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
     command = args.campaign_command
     if command == "run":
         spec = _load_campaign_spec(args.spec)
+        if spec.repeat is not None:
+            if args.max_shards is not None:
+                raise CampaignError(
+                    "--max-shards does not apply to a repeat-until-"
+                    "confidence campaign — the stopping rule decides"
+                )
+            result = repeat_campaign(spec, store=args.dir,
+                                     workers=args.workers)
+            return _repeat_result_text(
+                result, as_json=args.json,
+                title=f"Campaign repeat — {spec.label} "
+                      f"({spec.config_hash})",
+            )
         report = run_campaign(spec, store=args.dir, workers=args.workers,
                               max_shards=args.max_shards)
         if report.total < spec.total_injections:
@@ -377,6 +429,18 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
     if command == "resume":
         store = CampaignStore(args.dir)
         spec = store.load_spec()
+        if spec.repeat is not None:
+            if args.max_shards is not None:
+                raise CampaignError(
+                    "--max-shards does not apply to a repeat-until-"
+                    "confidence campaign — the stopping rule decides"
+                )
+            result = repeat_campaign(spec, store=store,
+                                     workers=args.workers)
+            return _repeat_result_text(
+                result, as_json=args.json,
+                title=f"Campaign repeat — spec {spec.config_hash}",
+            )
         report = run_campaign(spec, store=store, workers=args.workers,
                               max_shards=args.max_shards)
         if report.total < spec.total_injections:
@@ -394,16 +458,17 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
     # report: fold the persisted shards without executing anything
     store = CampaignStore(args.dir)
     spec = store.load_spec()
-    plan = plan_shards(spec.total_injections, shards=spec.shards,
-                       shard_size=spec.shard_size)
+    plan = campaign_plan(spec)
     records = validated_records(store, plan)
-    if len(records) < len(plan) and not args.partial:
+    if (len(records) < len(plan) and not args.partial
+            and spec.repeat is None):
         raise CampaignError(
             f"campaign incomplete ({len(records)}/{len(plan)} shards "
             f"done); resume it with `python -m repro campaign resume "
             f"--dir {args.dir}` or pass --partial for a partial fold"
         )
-    report = fold_report(records.values())
+    report = fold_report(records.values(),
+                         sampling=spec_sampling_meta(spec))
     qualifier = "" if len(records) == len(plan) else " (PARTIAL)"
     return _campaign_report_text(
         report, as_json=args.json,
@@ -567,6 +632,52 @@ def _cmd_platform(args: argparse.Namespace) -> str:
 
 
 # ----------------------------------------------------------------------
+# significance comparison: compare
+# ----------------------------------------------------------------------
+def _load_artifact_json(path: str) -> Dict[str, object]:
+    """Load one artifact JSON file for comparison."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read artifact {path!r}: {exc}")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path!r} is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"{path!r} does not hold a JSON object"
+        )
+    return data
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Compare two artifacts; print the verdict, return the exit code.
+
+    Exit codes mirror ``diff``: 0 = no significant difference, 1 = at
+    least one rate differs significantly, 2 = misuse (unreadable files,
+    mismatched artifact kinds, nothing to compare).
+    """
+    try:
+        payload = compare_artifacts(
+            _load_artifact_json(args.a),
+            _load_artifact_json(args.b),
+            alpha=args.alpha,
+            confidence=args.confidence,
+            resamples=args.resamples,
+            seed=args.seed,
+        )
+    except (StatsError, ConfigurationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, sort_keys=True, indent=2))
+    else:
+        print(render_comparison(payload))
+    return 1 if payload["significant"] else 0
+
+
+# ----------------------------------------------------------------------
 # determinism linter: lint
 # ----------------------------------------------------------------------
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -641,6 +752,28 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="emit full artifact JSON instead of a table")
 
     sub.add_parser("scenarios", help="list the registered scenarios")
+
+    compare_p = sub.add_parser(
+        "compare",
+        help="statistical significance diff of two artifact JSON files",
+    )
+    compare_p.add_argument("a", metavar="A.json",
+                           help="baseline artifact (campaign/stream/BENCH)")
+    compare_p.add_argument("b", metavar="B.json",
+                           help="candidate artifact of the same kind")
+    compare_p.add_argument("--alpha", type=float, default=0.05,
+                           help="significance level of the two-proportion "
+                                "tests (default 0.05)")
+    compare_p.add_argument("--confidence", type=float, default=0.95,
+                           help="confidence level of the bootstrap "
+                                "difference intervals (default 0.95)")
+    compare_p.add_argument("--resamples", type=int, default=1000,
+                           help="bootstrap resamples per rate "
+                                "(default 1000)")
+    compare_p.add_argument("--seed", type=int, default=0,
+                           help="bootstrap seed (default 0)")
+    compare_p.add_argument("--json", action="store_true",
+                           help="emit the stable repro-compare/v1 schema")
 
     lint_p = sub.add_parser(
         "lint",
@@ -794,6 +927,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "lint":
             # lint prints its own report; exit 1 = violations, 2 = misuse
             return _cmd_lint(args)
+        if args.command == "compare":
+            # compare prints its own verdict; exit 1 = significant
+            # difference, 2 = misuse
+            return _cmd_compare(args)
         if args.command == "run":
             print(_cmd_run(args))
         elif args.command == "batch":

@@ -113,6 +113,27 @@ class LintError(ReproError):
     """
 
 
+class StatsError(ReproError):
+    """A statistical estimator or comparison was asked the impossible.
+
+    Examples: a confidence level outside ``(0, 1)``, a Wilson interval on
+    zero trials, a stratified estimator whose population weights name a
+    stratum with no samples, or comparing two artifacts of different
+    kinds (a campaign against a stream report).
+    """
+
+
+class RepeatBudgetError(StatsError):
+    """A repeat-until-confidence run exhausted its budget unconverged.
+
+    Raised by :meth:`repro.stats.repeater.RepeatResult.check` when the
+    injection (or frame) budget cap was reached before the target CI
+    half-width on the chosen metric was met.  The repeat result — and the
+    partial aggregate report inside it — remain available on the
+    exception's originating :class:`~repro.stats.repeater.RepeatResult`.
+    """
+
+
 class WorkerCountError(ConfigurationError, StreamError, ValueError):
     """A parallel executor was handed a non-positive worker count.
 

@@ -23,7 +23,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import FaultInjectionError, SafetyViolation
+from repro.errors import FaultInjectionError, SafetyViolation, StatsError
 from repro.faults.injector import CorruptionMap, apply_fault
 from repro.faults.outcomes import FaultOutcome, InjectionResult, classify_outcome
 from repro.faults.types import (
@@ -35,14 +35,34 @@ from repro.faults.types import (
 from repro.iso26262.metrics import HardwareMetrics, coverage_from_campaign
 from repro.redundancy.comparison import build_signature, compare_signatures
 from repro.redundancy.manager import RedundantRunResult
+from repro.stats.estimators import ImportanceRate, StratifiedRate, UniformRate
+from repro.stats.intervals import RateEstimate
 
 __all__ = [
     "CampaignConfig",
     "CampaignReport",
     "FaultCampaign",
+    "SamplingConfig",
     "SDC_SAMPLE_LIMIT",
     "fault_substream",
+    "sampling_metadata",
 ]
+
+#: Canonical short fault kinds, in layout order.
+CANONICAL_KINDS: Tuple[str, ...] = ("ccf", "perm", "seu")
+
+#: Short fault kind -> fault class name (the ``by_kind`` report keys).
+KIND_CLASS_NAMES: Dict[str, str] = {
+    "ccf": "TransientCCF",
+    "perm": "PermanentSMFault",
+    "seu": "SEUFault",
+}
+
+#: Inverse of :data:`KIND_CLASS_NAMES`.
+CLASS_NAME_KINDS: Dict[str, str] = {v: k for k, v in KIND_CLASS_NAMES.items()}
+
+#: Version tag of the sampling metadata block in report payloads.
+SAMPLING_SCHEMA = 2
 
 #: How many SDC fault labels a report retains as diagnostic examples when
 #: it aggregates counts instead of full records (see
@@ -98,6 +118,138 @@ class CampaignConfig:
         return self.transient_ccf + self.permanent_sm + self.seu
 
 
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Fault-space sampling design — the v2, prefix-stable layouts.
+
+    The legacy (v1) indexed population segments the index space by kind
+    (``[0, ccf)`` CCFs, then permanents, then SEUs), which is *not*
+    prefix-extendable: growing the population changes the kind of
+    existing indices.  The two v2 layouts are prefix-stable — the fault
+    at index ``i`` never depends on the population size — which is what
+    lets the repeat-until-confidence runner keep extending a campaign
+    while staying bit-reproducible and resumable:
+
+    * ``stratified`` — the kind of index ``i`` is
+      ``block[i % len(block)]``, where ``block`` expands the integer
+      allocation weights in canonical kind order.  Per-kind sample
+      counts of any prefix are fixed (to within one block).
+    * ``importance`` — the kind of index ``i`` is drawn from the
+      index's own PRNG substream with probability proportional to the
+      allocation weights (the proposal distribution ``q``); estimates
+      reweight events by ``p_k / q_k`` (Horvitz–Thompson).
+
+    Attributes:
+        method: ``"stratified"`` or ``"importance"``.
+        transient_ccf / permanent_sm / seu: relative integer allocation
+            weights over the kinds (how the injection budget is spent —
+            the *nominal* population mix stays in
+            :class:`CampaignConfig`).
+    """
+
+    method: str
+    transient_ccf: int = 1
+    permanent_sm: int = 1
+    seu: int = 1
+
+    def __post_init__(self) -> None:
+        if self.method not in ("stratified", "importance"):
+            raise FaultInjectionError(
+                f"unknown sampling method {self.method!r} "
+                "(expected stratified or importance)"
+            )
+        if min(self.transient_ccf, self.permanent_sm, self.seu) < 0:
+            raise FaultInjectionError(
+                "sampling allocation weights cannot be negative"
+            )
+        if self.transient_ccf + self.permanent_sm + self.seu == 0:
+            raise FaultInjectionError(
+                "at least one sampling allocation weight must be positive"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def allocation(self) -> Dict[str, int]:
+        """Allocation weights keyed by canonical short kind."""
+        return {
+            "ccf": self.transient_ccf,
+            "perm": self.permanent_sm,
+            "seu": self.seu,
+        }
+
+    def block(self) -> Tuple[str, ...]:
+        """The stratified layout's kind block, in canonical kind order."""
+        allocation = self.allocation
+        return tuple(
+            kind for kind in CANONICAL_KINDS
+            for _ in range(allocation[kind])
+        )
+
+    def kind_at(self, index: int) -> str:
+        """Stratified kind of fault ``index`` (deterministic layout)."""
+        block = self.block()
+        return block[index % len(block)]
+
+    def draw_kind(self, rng: random.Random) -> str:
+        """Importance-sampled kind (consumes one draw from ``rng``)."""
+        total = self.transient_ccf + self.permanent_sm + self.seu
+        pick = rng.randrange(total)
+        if pick < self.transient_ccf:
+            return "ccf"
+        if pick < self.transient_ccf + self.permanent_sm:
+            return "perm"
+        return "seu"
+
+    def validate_support(self, config: CampaignConfig) -> None:
+        """Check the unbiasedness support condition against a plan.
+
+        Every kind with positive *nominal* population share must have a
+        positive allocation weight — otherwise part of the population
+        could never be sampled and the reweighted estimate would be
+        biased.
+
+        Raises:
+            FaultInjectionError: naming the unsupported kind.
+        """
+        nominal = {
+            "ccf": config.transient_ccf,
+            "perm": config.permanent_sm,
+            "seu": config.seu,
+        }
+        allocation = self.allocation
+        for kind in CANONICAL_KINDS:
+            if nominal[kind] > 0 and allocation[kind] == 0:
+                raise FaultInjectionError(
+                    f"sampling allocation gives no weight to kind "
+                    f"{kind!r}, which has nominal population share "
+                    f"{nominal[kind]} — the reweighted estimate would "
+                    "be biased"
+                )
+
+
+def sampling_metadata(config: CampaignConfig,
+                      sampling: SamplingConfig) -> Dict[str, object]:
+    """The report-level sampling block (pure integers, digest-safe).
+
+    Carried by :attr:`CampaignReport.sampling` and emitted under the
+    versioned ``"sampling"`` key of :meth:`CampaignReport.to_dict`.
+    Only integer counts are stored; the estimators derive population
+    probabilities and importance weights from them at estimation time,
+    so report digests never depend on float summation order.
+    """
+    sampling.validate_support(config)
+    return {
+        "schema": SAMPLING_SCHEMA,
+        "method": sampling.method,
+        "nominal": {
+            "ccf": config.transient_ccf,
+            "perm": config.permanent_sm,
+            "seu": config.seu,
+        },
+        "allocation": dict(sampling.allocation),
+    }
+
+
 @dataclass
 class CampaignReport:
     """Aggregated campaign outcome.
@@ -117,12 +269,19 @@ class CampaignReport:
         sdc_samples: up to :data:`SDC_SAMPLE_LIMIT` fault labels of silent
             corruptions, kept as diagnostic examples even when the full
             records are not.
+        sampling: the versioned sampling-metadata block
+            (:func:`sampling_metadata`) when the campaign used a v2
+            sampler, ``None`` for the legacy uniform population.  With
+            it set, rate estimates are reweighted to the nominal fault
+            mix and :meth:`to_dict` gains the ``"sampling"`` /
+            ``"weighted_rates"`` keys (v1 payloads are bit-unchanged).
     """
 
     policy: str
     injections: List[InjectionResult] = field(default_factory=list)
     by_kind: Dict[str, Dict[FaultOutcome, int]] = field(default_factory=dict)
     sdc_samples: List[str] = field(default_factory=list)
+    sampling: Optional[Dict[str, object]] = None
     # incremental outcome tally: ``injections`` is append-only, so counts
     # fold in lazily up to ``_counted_upto`` instead of rescanning the
     # whole campaign on every ``masked``/``detected``/``sdc`` access
@@ -147,7 +306,8 @@ class CampaignReport:
             self.sdc_samples.append(result.fault_label)
 
     def merge_counts(self, by_kind: Mapping[str, Mapping[FaultOutcome, int]],
-                     *, sdc_samples: Iterable[str] = ()) -> None:
+                     *, sdc_samples: Iterable[str] = (),
+                     sampling: Optional[Mapping[str, object]] = None) -> None:
         """Fold pre-aggregated outcome counts into the report.
 
         This is the streaming-aggregation entry point of the sharded
@@ -160,6 +320,15 @@ class CampaignReport:
             by_kind: outcome counts per fault kind (all counts >= 0).
             sdc_samples: SDC fault labels; retained up to
                 :data:`SDC_SAMPLE_LIMIT` across the whole report.
+            sampling: sampling-metadata block of the contributing counts
+                (:func:`sampling_metadata`).  The first merge installs
+                it; later merges must agree — per-stratum reweighting is
+                only meaningful when every folded shard was drawn under
+                the same design.
+
+        Raises:
+            FaultInjectionError: on negative counts or disagreeing
+                sampling metadata.
         """
         # validate everything before mutating anything: a rejected merge
         # must not leave the report holding a half-applied shard
@@ -169,6 +338,16 @@ class CampaignReport:
                     raise FaultInjectionError(
                         f"negative outcome count for {kind}/{outcome}"
                     )
+        if sampling is not None:
+            incoming = dict(sampling)
+            if self.sampling is None:
+                self.sampling = incoming
+            elif self.sampling != incoming:
+                raise FaultInjectionError(
+                    "cannot fold counts sampled under a different design: "
+                    f"report carries {self.sampling!r}, shard carries "
+                    f"{incoming!r}"
+                )
         for kind, outcomes in by_kind.items():
             bucket = self.by_kind.setdefault(kind, {})
             for outcome, count in outcomes.items():
@@ -222,6 +401,135 @@ class CampaignReport:
         """Detected / (detected + SDC); 1.0 when nothing was dangerous."""
         dangerous = self.detected + self.sdc
         return 1.0 if dangerous == 0 else self.detected / dangerous
+
+    # ------------------------------------------------------------------
+    # statistical estimation (repro.stats)
+    # ------------------------------------------------------------------
+    def _strata_counts(self, outcome: FaultOutcome) -> Dict[str, Tuple[int, int]]:
+        """``kind -> (events, trials)`` over the report's by-kind table."""
+        strata: Dict[str, Tuple[int, int]] = {}
+        for class_name, outcomes in self.by_kind.items():
+            kind = CLASS_NAME_KINDS.get(class_name, class_name)
+            events, trials = strata.get(kind, (0, 0))
+            strata[kind] = (
+                events + outcomes.get(outcome, 0),
+                trials + sum(outcomes.values()),
+            )
+        return strata
+
+    def rate_estimator(self, metric: str = "sdc"):
+        """The estimator matching this report's sampling design.
+
+        Uniform (legacy) reports get a plain binomial proportion;
+        reports carrying v2 :attr:`sampling` metadata get the matching
+        stratified or Horvitz–Thompson importance estimator, reweighted
+        to the nominal fault mix.  ``metric`` is ``"masked"``,
+        ``"detected"`` or ``"sdc"``.
+
+        Raises:
+            FaultInjectionError: on an empty report or unknown metric.
+            StatsError: when the sampling metadata cannot support an
+                unbiased estimate (e.g. a nominal stratum was never
+                sampled).
+        """
+        self._require_injections(f"rate_estimator({metric!r})")
+        try:
+            outcome = FaultOutcome[metric.upper()]
+        except KeyError:
+            raise FaultInjectionError(
+                f"unknown campaign metric {metric!r}; expected one of "
+                + ", ".join(o.name.lower() for o in FaultOutcome)
+            ) from None
+        if self.sampling is None:
+            return UniformRate(self.count(outcome), self.total,
+                               metric=metric)
+        strata = self._strata_counts(outcome)
+        nominal = {str(k): int(v)
+                   for k, v in dict(self.sampling["nominal"]).items()}
+        allocation = {str(k): int(v)
+                      for k, v in dict(self.sampling["allocation"]).items()}
+        nominal_total = sum(nominal.values())
+        population = {kind: count / nominal_total
+                      for kind, count in nominal.items()}
+        if self.sampling["method"] == "stratified":
+            return StratifiedRate(strata, population, metric=metric)
+        allocation_total = sum(allocation.values())
+        weights = {
+            kind: (population[kind]
+                   / (allocation[kind] / allocation_total))
+            for kind in allocation if allocation[kind] > 0
+        }
+        return ImportanceRate(strata, weights, metric=metric)
+
+    def rate_interval(self, metric: str = "sdc", *,
+                      confidence: float = 0.95, method: str = "auto",
+                      resamples: int = 1000, seed: int = 0) -> RateEstimate:
+        """Confidence interval on one outcome rate.
+
+        A pure function of the report's integer counts (and, for the
+        bootstrap, the explicit ``seed``) — computing it never perturbs
+        the report's canonical form or digest.
+
+        Raises:
+            FaultInjectionError: on an empty report or unknown metric.
+            StatsError: on an unsupported interval method for the
+                report's sampling design.
+        """
+        return self.rate_estimator(metric).interval(
+            confidence=confidence, method=method,
+            resamples=resamples, seed=seed,
+        )
+
+    def coverage_interval(self, *, confidence: float = 0.95,
+                          method: str = "auto", resamples: int = 1000,
+                          seed: int = 0) -> RateEstimate:
+        """Confidence interval on the detection coverage.
+
+        Coverage is the conditional proportion detected / (detected +
+        SDC), a plain binomial in the dangerous-outcome subsample, so it
+        gets the uniform (Wilson-capable) treatment under every sampling
+        design.
+
+        Raises:
+            FaultInjectionError: when the report has no dangerous
+                outcomes (the conditional rate is undefined).
+        """
+        dangerous = self.detected + self.sdc
+        if dangerous == 0:
+            raise FaultInjectionError(
+                f"campaign report for policy {self.policy!r} has no "
+                "dangerous outcomes: the coverage interval is undefined"
+            )
+        return UniformRate(self.detected, dangerous,
+                           metric="coverage").interval(
+            confidence=confidence, method=method,
+            resamples=resamples, seed=seed,
+        )
+
+    def metric_intervals(self, *, confidence: float = 0.95,
+                         method: str = "auto", resamples: int = 1000,
+                         seed: int = 0) -> Dict[str, RateEstimate]:
+        """Intervals on every campaign rate, keyed by metric name.
+
+        Covers the three outcome rates plus ``"coverage"`` when the
+        report saw any dangerous outcome.
+
+        Raises:
+            FaultInjectionError: on an empty report.
+        """
+        self._require_injections("metric_intervals()")
+        intervals = {
+            metric: self.rate_interval(metric, confidence=confidence,
+                                       method=method, resamples=resamples,
+                                       seed=seed)
+            for metric in ("masked", "detected", "sdc")
+        }
+        if self.detected + self.sdc > 0:
+            intervals["coverage"] = self.coverage_interval(
+                confidence=confidence, method=method,
+                resamples=resamples, seed=seed,
+            )
+        return intervals
 
     def sdc_injections(self) -> List[InjectionResult]:
         """The silent-corruption records (useful for debugging policies).
@@ -282,17 +590,52 @@ class CampaignReport:
             raw_failure_rate_per_hour=raw_failure_rate_per_hour,
         )
 
+    def hardware_metrics_intervals(self, *, confidence: float = 0.95,
+                                   method: str = "auto",
+                                   resamples: int = 1000,
+                                   seed: int = 0) -> Dict[str, RateEstimate]:
+        """Error bars on the rates behind :meth:`hardware_metrics`.
+
+        ``"residual"`` is the SDC rate (the residual-fault fraction that
+        scales PMHF) and ``"coverage"`` the detection coverage (LFM), so
+        the ISO 26262 architectural metrics inherit these intervals
+        directly.
+
+        Raises:
+            FaultInjectionError: on an empty report.
+        """
+        self._require_injections("hardware_metrics_intervals()")
+        intervals = {
+            "residual": self.rate_interval(
+                "sdc", confidence=confidence, method=method,
+                resamples=resamples, seed=seed,
+            )
+        }
+        if self.detected + self.sdc > 0:
+            intervals["coverage"] = self.coverage_interval(
+                confidence=confidence, method=method,
+                resamples=resamples, seed=seed,
+            )
+        return intervals
+
     def summary(self) -> str:
-        """One-line campaign summary for reports.
+        """One-line campaign summary, with an error bar on the SDC rate.
 
         Raises:
             FaultInjectionError: on an empty report.
         """
         self._require_injections("summary()")
+        try:
+            tail = f" sdc_rate={self.rate_interval('sdc').describe()}"
+        except StatsError:
+            # e.g. a partial v2 fold that has not yet sampled every
+            # nominal stratum — the point counts are still reportable
+            tail = ""
         return (
             f"{self.policy}: n={self.total} masked={self.masked} "
             f"detected={self.detected} SDC={self.sdc} "
             f"coverage={self.detection_coverage:.4f}"
+            + tail
         )
 
     # ------------------------------------------------------------------
@@ -306,8 +649,15 @@ class CampaignReport:
         resume history — this is the object the sharded runner's
         bit-identity guarantee is stated over (see ``docs/CAMPAIGNS.md``).
         Per-injection records are deliberately excluded.
+
+        Versioning: reports of the legacy uniform population emit
+        exactly the historical (v1) key set, so their digests are
+        bit-identical to earlier releases.  Only reports carrying v2
+        :attr:`sampling` metadata add the ``"sampling"`` block and the
+        reweighted ``"weighted_rates"`` — floats, but pure functions of
+        the integer counts, so still shard-order-independent.
         """
-        return {
+        data: Dict[str, object] = {
             "policy": self.policy,
             "total": self.total,
             "masked": self.masked,
@@ -325,6 +675,101 @@ class CampaignReport:
             },
             "sdc_samples": list(self.sdc_samples),
         }
+        if self.sampling is not None:
+            data["sampling"] = {
+                key: (dict(value) if isinstance(value, Mapping) else value)
+                for key, value in sorted(self.sampling.items())
+            }
+            try:
+                data["weighted_rates"] = {
+                    metric: self.rate_estimator(metric).rate()
+                    for metric in ("masked", "detected", "sdc")
+                }
+            except StatsError:
+                # a partial fold that has not sampled every nominal
+                # stratum yet — deterministic for a given count table
+                data["weighted_rates"] = None
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CampaignReport":
+        """Rebuild a counts-only report from its :meth:`to_dict` form.
+
+        Accepts both generations: legacy (v1) payloads without a
+        ``"sampling"`` block and v2 payloads with one.  Declared totals
+        are verified against the by-kind table, so a tampered or
+        truncated artifact fails loudly instead of feeding bad counts
+        into a safety argument.
+
+        Raises:
+            FaultInjectionError: on malformed payloads, unknown outcome
+                keys, or totals disagreeing with the by-kind table.
+        """
+        if not isinstance(data, Mapping):
+            raise FaultInjectionError(
+                f"CampaignReport expects a mapping, got {data!r}"
+            )
+        missing = sorted({"policy", "by_kind"} - set(data))
+        if missing:
+            raise FaultInjectionError(
+                "not a CampaignReport payload; missing: "
+                + ", ".join(missing)
+            )
+        outcomes_by_key = {o.name.lower(): o for o in FaultOutcome}
+        by_kind: Dict[str, Dict[FaultOutcome, int]] = {}
+        raw_by_kind = data["by_kind"]
+        if not isinstance(raw_by_kind, Mapping):
+            raise FaultInjectionError("'by_kind' must be an object")
+        for kind, bucket in raw_by_kind.items():
+            if not isinstance(bucket, Mapping):
+                raise FaultInjectionError(
+                    f"by_kind[{kind!r}] must be an object"
+                )
+            parsed: Dict[FaultOutcome, int] = {}
+            for key, count in bucket.items():
+                outcome = outcomes_by_key.get(str(key))
+                if outcome is None:
+                    raise FaultInjectionError(
+                        f"by_kind[{kind!r}]: unknown outcome key {key!r}"
+                    )
+                if not isinstance(count, int) or isinstance(count, bool):
+                    raise FaultInjectionError(
+                        f"by_kind[{kind!r}][{key!r}] must be an integer "
+                        f"count, got {count!r}"
+                    )
+                parsed[outcome] = count
+            by_kind[str(kind)] = parsed
+        sampling = data.get("sampling")
+        if sampling is not None:
+            if not isinstance(sampling, Mapping):
+                raise FaultInjectionError("'sampling' must be an object")
+            required = {"schema", "method", "nominal", "allocation"}
+            missing = sorted(required - set(sampling))
+            if missing:
+                raise FaultInjectionError(
+                    "sampling block missing: " + ", ".join(missing)
+                )
+            sampling = {
+                key: (dict(value) if isinstance(value, Mapping) else value)
+                for key, value in sampling.items()
+            }
+        report = cls(policy=str(data["policy"]))
+        report.merge_counts(
+            by_kind,
+            sdc_samples=tuple(str(s) for s in data.get("sdc_samples", ())),
+            sampling=sampling,
+        )
+        for key, declared in (("total", report.total),
+                              ("masked", report.masked),
+                              ("detected", report.detected),
+                              ("sdc", report.sdc)):
+            if key in data and data[key] != declared:
+                raise FaultInjectionError(
+                    f"campaign payload declares {key}={data[key]!r} but "
+                    f"its by_kind table sums to {declared} — artifact "
+                    "inconsistent"
+                )
+        return report
 
     def digest(self) -> str:
         """Hex digest of the canonical form (aggregate provenance key)."""
@@ -457,22 +902,45 @@ class FaultCampaign:
     # ------------------------------------------------------------------
     # indexed (shardable) sampling
     # ------------------------------------------------------------------
-    def fault_at(self, config: CampaignConfig, index: int) -> FaultDescriptor:
+    def fault_at(self, config: CampaignConfig, index: int, *,
+                 sampling: Optional[SamplingConfig] = None
+                 ) -> FaultDescriptor:
         """The ``index``-th fault of the campaign's *indexed* population.
 
-        The population is laid out deterministically by kind — indices
-        ``[0, transient_ccf)`` are transient CCFs, the next
-        ``permanent_sm`` are permanent SM defects, the remainder SEUs —
-        and fault ``index`` draws exclusively from its own PRNG substream
-        (:func:`fault_substream`).  The fault returned for a given
-        ``(config, index)`` therefore never depends on which other indices
-        have been (or will be) sampled, which is the determinism contract
-        sharded campaigns are built on.
+        Fault ``index`` draws exclusively from its own PRNG substream
+        (:func:`fault_substream`), so the fault returned for a given
+        ``(config, index)`` never depends on which other indices have
+        been (or will be) sampled — the determinism contract sharded
+        campaigns are built on.  The kind layout depends on the sampling
+        generation:
+
+        * legacy (``sampling=None``, v1): the index space is segmented
+          by kind — ``[0, transient_ccf)`` transient CCFs, the next
+          ``permanent_sm`` permanent SM defects, the remainder SEUs.
+          Bit-stable, but bounded by ``config.total_injections``.
+        * v2 (:class:`SamplingConfig`): the kind of index ``i`` comes
+          from the stratified block layout or the importance proposal
+          draw.  Both are *prefix-stable* — valid for every ``i >= 0``
+          regardless of campaign size — which is what lets the
+          repeat-until-confidence runner extend a campaign in place.
 
         Raises:
-            FaultInjectionError: when ``index`` is outside
-                ``[0, config.total_injections)``.
+            FaultInjectionError: when ``index`` is outside the legacy
+                population, negative, or the sampling design does not
+                support the plan's nominal mix.
         """
+        if sampling is not None:
+            if index < 0:
+                raise FaultInjectionError(
+                    f"fault index {index} cannot be negative"
+                )
+            sampling.validate_support(config)
+            rng = fault_substream(config.seed, index)
+            if sampling.method == "stratified":
+                kind = sampling.kind_at(index)
+            else:
+                kind = sampling.draw_kind(rng)
+            return self._build_fault(kind, rng, index, config.phase_quantum)
         total = config.total_injections
         if not 0 <= index < total:
             raise FaultInjectionError(
@@ -529,23 +997,55 @@ class FaultCampaign:
             kind = "seu"
         return self._build_fault(kind, rng, fault_id, phase_quantum)
 
-    def sample_range(self, config: CampaignConfig, start: int,
-                     stop: int) -> List[FaultDescriptor]:
+    def sample_range(self, config: CampaignConfig, start: int, stop: int, *,
+                     sampling: Optional[SamplingConfig] = None
+                     ) -> List[FaultDescriptor]:
         """One contiguous shard ``[start, stop)`` of the indexed population.
 
-        ``sample_range(c, 0, c.total_injections)`` is the whole population;
-        any partition of ``[0, total)`` into contiguous ranges regenerates
-        exactly the same faults shard by shard.
+        ``sample_range(c, 0, c.total_injections)`` is the whole (legacy)
+        population; any partition of ``[0, total)`` into contiguous
+        ranges regenerates exactly the same faults shard by shard.  With
+        a v2 ``sampling`` design the population is prefix-stable and
+        unbounded, so only ``0 <= start <= stop`` is required.
 
         Raises:
             FaultInjectionError: on an invalid or out-of-bounds range.
         """
-        if start < 0 or stop > config.total_injections or start > stop:
+        upper = None if sampling is not None else config.total_injections
+        if start < 0 or start > stop or (upper is not None and stop > upper):
             raise FaultInjectionError(
                 f"invalid fault range [{start}, {stop}) for a campaign of "
                 f"{config.total_injections} injections"
             )
-        return [self.fault_at(config, index) for index in range(start, stop)]
+        return [self.fault_at(config, index, sampling=sampling)
+                for index in range(start, stop)]
+
+    def run_sampled(self, config: CampaignConfig, sampling: SamplingConfig,
+                    total: int) -> CampaignReport:
+        """Run ``total`` injections under a v2 sampling design, in memory.
+
+        The counterpart of :meth:`run` for the prefix-stable samplers:
+        indices ``[0, total)`` of the v2 population are injected and
+        recorded, and the report carries the :func:`sampling_metadata`
+        block so its rate estimates reweight to the nominal mix.  The
+        sharded equivalent lives in :mod:`repro.campaigns`.
+
+        Raises:
+            FaultInjectionError: on a non-positive total or an
+                unsupported sampling design.
+        """
+        if total < 1:
+            raise FaultInjectionError(
+                f"sampled campaign must inject at least one fault, "
+                f"got {total}"
+            )
+        metadata = sampling_metadata(config, sampling)
+        report = CampaignReport(policy=self._run.sim.scheduler_name,
+                                sampling=metadata)
+        for index in range(total):
+            fault = self.fault_at(config, index, sampling=sampling)
+            report.record(self.classify(fault), type(fault).__name__)
+        return report
 
     def run(self, config: Optional[CampaignConfig] = None,
             faults: Optional[Sequence[FaultDescriptor]] = None

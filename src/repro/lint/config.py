@@ -67,11 +67,14 @@ class RuleScope:
 
 
 # Modules whose content folds into a canonical digest or report: the
-# unordered-iteration rule only fires here (ISSUE 6 scoping).
+# unordered-iteration rule only fires here (ISSUE 6 scoping).  The
+# statistics layer qualifies because its weighted rates embed in the
+# v2 campaign report payloads.
 _DIGEST_MODULES: Tuple[str, ...] = (
     "*/report.py",
     "*/faults/campaign.py",
     "*/streams/arrivals.py",
+    "*/stats/*.py",
     "*/api/*.py",
 )
 

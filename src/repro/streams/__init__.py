@@ -51,10 +51,12 @@ from repro.streams.analytics import (
     WindowedRates,
 )
 from repro.streams.jobs import JobProfile, resolve_jobs
-from repro.streams.report import StreamReport
-from repro.streams.runner import run_stream
+from repro.streams.report import STREAM_RATE_METRICS, StreamReport
+from repro.streams.runner import repeat_stream, run_stream
 
 __all__ = [
+    "STREAM_RATE_METRICS",
+    "repeat_stream",
     "frame_substream",
     "iter_arrivals",
     "substream_factory",

@@ -1,0 +1,189 @@
+"""Tests for repeat-until-confidence campaigns.
+
+The repeater extends a sampled campaign batch by batch until the CI on
+the targeted rate is tight enough.  Its determinism contract mirrors
+the plain sharded runner's: the stop point is a pure function of the
+shard-prefix data, so worker counts and kill/resume histories can never
+change the returned aggregate.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.api import (
+    CampaignSpec,
+    FaultPlanSpec,
+    RepeatSpec,
+    RunSpec,
+    SamplingSpec,
+    WorkloadSpec,
+)
+from repro.campaigns import (
+    CampaignStore,
+    repeat_campaign,
+    resume_campaign,
+    run_campaign,
+)
+from repro.errors import (
+    CampaignError,
+    ConfigurationError,
+    RepeatBudgetError,
+    StatsError,
+)
+from repro.stats.repeater import STOP_BUDGET, STOP_TARGET
+
+
+def _spec(*, relative_half_width=0.5, half_width=None, batch=100,
+          max_total=2000, metric="sdc") -> CampaignSpec:
+    return CampaignSpec(
+        run=RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                    policy="default"),
+        faults=FaultPlanSpec(transient_ccf=120, permanent_sm=40, seu=40,
+                             seed=7),
+        sampling=SamplingSpec(method="stratified", transient_ccf=1,
+                              permanent_sm=2, seu=1),
+        repeat=RepeatSpec(metric=metric,
+                          relative_half_width=relative_half_width,
+                          half_width=half_width,
+                          batch=batch, max_total=max_total),
+    )
+
+
+@pytest.fixture(scope="module")
+def converged():
+    return repeat_campaign(_spec(), workers=1)
+
+
+class TestConvergence:
+    def test_stops_when_target_met(self, converged):
+        assert converged.converged
+        assert converged.stop_reason == STOP_TARGET
+        assert converged.check() is converged
+        est = converged.estimate
+        assert est.metric == "sdc"
+        assert est.relative_half_width <= 0.5
+
+    def test_aggregate_matches_batches(self, converged):
+        assert converged.total == converged.batches * 100
+        assert converged.report.total == converged.total
+        assert converged.total < 2000  # did not need the whole budget
+
+    def test_history_is_the_trajectory(self, converged):
+        assert converged.history
+        assert converged.history[-1].to_dict() == converged.estimate.to_dict()
+        # only the stop point meets the target; earlier points do not
+        for earlier in converged.history[:-1]:
+            assert earlier.relative_half_width > 0.5
+
+    def test_overshoot_excluded_from_aggregate(self, converged):
+        # the first batch-prefix meeting the target defines the result,
+        # even if more batches were scheduled concurrently
+        rerun = repeat_campaign(_spec(), workers=4)
+        assert rerun.total == converged.total
+        assert rerun.report.to_dict() == converged.report.to_dict()
+
+
+class TestBudget:
+    def test_budget_exhaustion_is_typed(self):
+        result = repeat_campaign(_spec(relative_half_width=0.01,
+                                       batch=200, max_total=400))
+        assert not result.converged
+        assert result.stop_reason == STOP_BUDGET
+        assert result.total == 400
+        assert result.error
+        with pytest.raises(RepeatBudgetError):
+            result.check()
+
+    def test_budget_result_still_carries_estimate(self):
+        result = repeat_campaign(_spec(relative_half_width=0.01,
+                                       batch=200, max_total=400))
+        assert result.estimate.metric == "sdc"
+        assert result.report.total == 400
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_worker_invariance(self, converged, workers):
+        rerun = repeat_campaign(_spec(), workers=workers)
+        assert rerun.report.to_dict() == converged.report.to_dict()
+        assert rerun.total == converged.total
+        assert ([e.to_dict() for e in rerun.history]
+                == [e.to_dict() for e in converged.history])
+
+    def test_kill_and_resume_matches_uninterrupted(self, tmp_path,
+                                                   converged):
+        # run to completion in one store, then replay a truncated copy
+        full = tmp_path / "full"
+        repeat_campaign(_spec(), store=CampaignStore(full), workers=1)
+        partial = tmp_path / "partial"
+        partial.mkdir()
+        shutil.copy(full / "campaign.json", partial / "campaign.json")
+        lines = (full / "shards.jsonl").read_text().splitlines(True)
+        (partial / "shards.jsonl").write_text("".join(lines[:1]))
+        resumed = resume_campaign(CampaignStore(partial), workers=1)
+        assert resumed.report.to_dict() == converged.report.to_dict()
+        assert resumed.total == converged.total
+        assert ([e.to_dict() for e in resumed.history]
+                == [e.to_dict() for e in converged.history])
+
+    def test_completed_store_replays_without_rerunning(self, tmp_path,
+                                                       converged):
+        store = CampaignStore(tmp_path)
+        first = repeat_campaign(_spec(), store=store, workers=2)
+        before = store.shards_path.read_text()
+        again = resume_campaign(store)
+        assert store.shards_path.read_text() == before
+        assert again.report.to_dict() == first.report.to_dict()
+
+
+class TestDispatchAndValidation:
+    def test_run_campaign_rejects_repeat_specs(self):
+        with pytest.raises(CampaignError, match="repeat_campaign"):
+            run_campaign(_spec())
+
+    def test_resume_rejects_max_shards_for_repeat(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        repeat_campaign(_spec(), store=store)
+        with pytest.raises(CampaignError):
+            resume_campaign(store, max_shards=1)
+
+    def test_repeat_campaign_rejects_plain_specs(self):
+        plain = CampaignSpec(
+            run=RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                        policy="default"),
+            faults=FaultPlanSpec(transient_ccf=40, permanent_sm=20,
+                                 seu=20, seed=7),
+        )
+        with pytest.raises((CampaignError, StatsError)):
+            repeat_campaign(plain)
+
+    def test_repeat_requires_sampling(self):
+        with pytest.raises(ConfigurationError, match="sampling"):
+            CampaignSpec(
+                run=RunSpec(workload=WorkloadSpec(benchmark="hotspot")),
+                faults=FaultPlanSpec(transient_ccf=40, permanent_sm=20,
+                                     seu=20, seed=7),
+                repeat=RepeatSpec(metric="sdc", relative_half_width=0.5),
+            )
+
+    def test_repeat_forbids_explicit_sharding(self):
+        with pytest.raises(ConfigurationError):
+            _spec_with_shards = CampaignSpec(
+                run=RunSpec(workload=WorkloadSpec(benchmark="hotspot")),
+                faults=FaultPlanSpec(transient_ccf=40, permanent_sm=20,
+                                     seu=20, seed=7),
+                sampling=SamplingSpec(method="stratified"),
+                repeat=RepeatSpec(metric="sdc", relative_half_width=0.5),
+                shards=4,
+            )
+            del _spec_with_shards
+
+    def test_repeat_metric_must_be_a_campaign_rate(self):
+        with pytest.raises(ConfigurationError, match="metric"):
+            _spec(metric="deadline_miss")
+
+    def test_total_injections_is_the_budget_cap(self):
+        assert _spec(max_total=1200).total_injections == 1200

@@ -1,0 +1,112 @@
+"""Tests for ``python -m repro compare``: exit codes and --json schema."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.stats.compare import COMPARE_SCHEMA
+
+
+def _campaign(sdc=20, detected=380):
+    return {
+        "policy": "default",
+        "total": 1000,
+        "masked": 1000 - detected - sdc,
+        "detected": detected,
+        "sdc": sdc,
+        "by_kind": {},
+    }
+
+
+@pytest.fixture
+def artifact(tmp_path):
+    def write(name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    return write
+
+
+class TestExitCodes:
+    def test_identical_artifacts_exit_zero(self, capsys, artifact):
+        a = artifact("a.json", _campaign())
+        assert main(["compare", a, a]) == 0
+        assert "no significant difference" in capsys.readouterr().out
+
+    def test_noise_exits_zero(self, capsys, artifact):
+        a = artifact("a.json", _campaign())
+        b = artifact("b.json", _campaign(sdc=22, detected=378))
+        assert main(["compare", a, b]) == 0
+
+    def test_significant_difference_exits_one(self, capsys, artifact):
+        a = artifact("a.json", _campaign())
+        b = artifact("b.json", _campaign(sdc=80, detected=320))
+        assert main(["compare", a, b]) == 1
+        assert "SIGNIFICANT" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, capsys, artifact):
+        a = artifact("a.json", _campaign())
+        assert main(["compare", a, str(a) + ".missing"]) == 2
+        assert capsys.readouterr().err
+
+    def test_malformed_json_exits_two(self, tmp_path, capsys, artifact):
+        a = artifact("a.json", _campaign())
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["compare", a, str(bad)]) == 2
+
+    def test_kind_mismatch_exits_two(self, capsys, artifact):
+        a = artifact("a.json", _campaign())
+        b = artifact("b.json", {
+            "frames": 100, "completed": 100, "dropped": 0,
+            "deadline_misses": 0, "faults": {"injected": 0, "sdc": 0},
+        })
+        assert main(["compare", a, b]) == 2
+        assert "same kind" in capsys.readouterr().err
+
+    def test_unrecognised_artifact_exits_two(self, capsys, artifact):
+        a = artifact("a.json", {"mystery": 1})
+        b = artifact("b.json", _campaign())
+        assert main(["compare", a, b]) == 2
+
+
+class TestJsonPayload:
+    def test_schema_tag_and_shape(self, capsys, artifact):
+        a = artifact("a.json", _campaign())
+        b = artifact("b.json", _campaign(sdc=80, detected=320))
+        assert main(["compare", a, b, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == COMPARE_SCHEMA
+        assert payload["kind"] == "campaign"
+        assert payload["significant"] is True
+        assert sorted(payload) == [
+            "alpha", "comparisons", "confidence", "deltas", "kind",
+            "resamples", "schema", "significant",
+        ]
+
+    def test_parameters_flow_through(self, capsys, artifact):
+        a = artifact("a.json", _campaign())
+        b = artifact("b.json", _campaign(sdc=30, detected=370))
+        assert main(["compare", a, b, "--json", "--alpha", "0.2",
+                     "--confidence", "0.9", "--resamples", "200",
+                     "--seed", "5"]) in (0, 1)
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["alpha"] == 0.2
+        assert payload["confidence"] == 0.9
+        assert payload["resamples"] == 200
+
+    def test_json_is_deterministic(self, capsys, artifact):
+        a = artifact("a.json", _campaign())
+        b = artifact("b.json", _campaign(sdc=26, detected=374))
+        main(["compare", a, b, "--json"])
+        first = capsys.readouterr().out
+        main(["compare", a, b, "--json"])
+        assert capsys.readouterr().out == first
+
+    def test_bad_alpha_exits_two(self, capsys, artifact):
+        a = artifact("a.json", _campaign())
+        assert main(["compare", a, a, "--alpha", "2.0"]) == 2

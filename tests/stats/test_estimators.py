@@ -1,0 +1,166 @@
+"""Tests for repro.stats.estimators: uniform / stratified / importance.
+
+The unbiasedness properties are checked against an *exhaustively
+enumerated* finite population: a small universe of items with known
+per-stratum event rates, sampled by seeded designs.  Reweighted
+estimates must agree with the exhaustive truth — exactly when every
+stratum is fully enumerated, in expectation otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import StatsError
+from repro.stats import (
+    ImportanceRate,
+    StratifiedRate,
+    UniformRate,
+    wilson_interval,
+)
+
+#: A finite population: per-stratum (population share, event rate).
+#: Shaped like the repo's fault space — the rare ``perm`` stratum holds
+#: nearly all the events, so it dominates the estimator variance and
+#: oversampling it pays off.  Truth: 0.88*0.001 + 0.04*0.5 + 0.08*0.002
+#: = 0.02104.
+POPULATION = {
+    "ccf": (0.88, 0.001),
+    "perm": (0.04, 0.5),
+    "seu": (0.08, 0.002),
+}
+TRUTH = sum(share * rate for share, rate in POPULATION.values())
+SHARES = {name: share for name, (share, _) in POPULATION.items()}
+
+
+def _stratum_universe(name: str, size: int):
+    """Deterministic item universe of one stratum: exact event counts."""
+    _, rate = POPULATION[name]
+    events = round(size * rate)
+    return [True] * events + [False] * (size - events)
+
+
+class TestUniformRate:
+    def test_matches_wilson(self):
+        est = UniformRate(7, 100).interval()
+        ref = wilson_interval(7, 100, metric="rate")
+        assert est.to_dict() == ref.to_dict()
+
+    def test_variance_is_binomial(self):
+        u = UniformRate(30, 100)
+        assert u.variance() == pytest.approx(0.3 * 0.7 / 100)
+
+    def test_bootstrap_method(self):
+        est = UniformRate(30, 100).interval(method="bootstrap", seed=2)
+        assert est.method == "bootstrap"
+        assert est.low <= 0.3 <= est.high
+
+    def test_rejects_impossible_counts(self):
+        with pytest.raises(StatsError):
+            UniformRate(5, 0)
+        with pytest.raises(StatsError):
+            UniformRate(6, 5)
+
+
+class TestStratifiedRate:
+    def test_full_enumeration_recovers_truth_exactly(self):
+        """Enumerating every stratum completely gives the exact rate."""
+        strata = {}
+        for name in POPULATION:
+            universe = _stratum_universe(name, 1000)
+            strata[name] = (sum(universe), len(universe))
+        est = StratifiedRate(strata, SHARES)
+        assert est.rate() == pytest.approx(TRUTH, abs=1e-12)
+
+    def test_oversampling_is_unbiased(self):
+        """Oversampling the rare stratum never shifts the expectation."""
+        universes = {n: _stratum_universe(n, 1000) for n in POPULATION}
+        allocation = {"ccf": 30, "perm": 200, "seu": 30}  # perm-heavy
+        estimates = []
+        for seed in range(300):
+            rng = random.Random(seed)
+            strata = {}
+            for name, n_k in allocation.items():
+                sample = [rng.choice(universes[name]) for _ in range(n_k)]
+                strata[name] = (sum(sample), n_k)
+            estimates.append(StratifiedRate(strata, SHARES).rate())
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(TRUTH, abs=0.002)
+
+    def test_oversampling_rare_stratum_cuts_variance(self):
+        """Allocating budget to the event-rich stratum tightens the CI."""
+        def design_variance(allocation):
+            strata = {
+                name: (round(n_k * POPULATION[name][1]), n_k)
+                for name, n_k in allocation.items()
+            }
+            return StratifiedRate(strata, SHARES).variance()
+
+        proportional = {"ccf": 229, "perm": 10, "seu": 21}
+        perm_heavy = {"ccf": 65, "perm": 130, "seu": 65}
+        assert design_variance(perm_heavy) < 0.5 * design_variance(
+            proportional)
+
+    def test_interval_auto_is_normal(self):
+        strata = {"a": (5, 100), "b": (20, 100)}
+        est = StratifiedRate(strata, {"a": 0.8, "b": 0.2}).interval()
+        assert est.method == "normal"
+
+    def test_wilson_refused_for_weighted_estimators(self):
+        strata = {"a": (5, 100), "b": (20, 100)}
+        with pytest.raises(StatsError):
+            StratifiedRate(strata, {"a": 0.8, "b": 0.2}).interval(
+                method="wilson")
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(StatsError):
+            StratifiedRate({"a": (1, 10)}, {"a": 0.5})
+
+    def test_positive_weight_needs_trials(self):
+        with pytest.raises(StatsError):
+            StratifiedRate({"a": (1, 10), "b": (0, 0)},
+                           {"a": 0.5, "b": 0.5})
+
+    def test_bootstrap_interval_brackets_estimate(self):
+        strata = {"a": (5, 200), "b": (40, 100)}
+        est = StratifiedRate(strata, {"a": 0.9, "b": 0.1})
+        boot = est.interval(method="bootstrap", resamples=400, seed=1)
+        assert boot.low <= est.rate() <= boot.high
+
+
+class TestImportanceRate:
+    def test_horvitz_thompson_expectation_matches_truth(self):
+        """HT-reweighted draws from a proposal are unbiased for the truth."""
+        universes = {n: _stratum_universe(n, 1000) for n in POPULATION}
+        proposal = {"ccf": 0.2, "perm": 0.6, "seu": 0.2}  # perm-heavy
+        names = list(proposal)
+        weights = {n: SHARES[n] / proposal[n] for n in names}
+        estimates = []
+        for seed in range(300):
+            rng = random.Random(10_000 + seed)
+            counts = {n: [0, 0] for n in names}  # [events, trials]
+            for _ in range(200):
+                u = rng.random()
+                name = (names[0] if u < proposal[names[0]] else
+                        names[1] if u < proposal[names[0]] +
+                        proposal[names[1]] else names[2])
+                counts[name][1] += 1
+                counts[name][0] += rng.choice(universes[name])
+            strata = {n: (e, t) for n, (e, t) in counts.items() if t}
+            estimates.append(ImportanceRate(strata, weights).rate())
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(TRUTH, abs=0.006)
+
+    def test_sampled_stratum_needs_a_weight(self):
+        with pytest.raises(StatsError):
+            ImportanceRate({"a": (1, 10)}, {"b": 1.0})
+
+    def test_interval_brackets_estimate(self):
+        strata = {"a": (2, 120), "b": (30, 80)}
+        weights = {"a": 1.5, "b": 0.25}
+        est = ImportanceRate(strata, weights)
+        for method in ("normal", "bootstrap"):
+            ci = est.interval(method=method, resamples=300, seed=4)
+            assert ci.low <= est.rate() <= ci.high

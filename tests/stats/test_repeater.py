@@ -1,0 +1,97 @@
+"""Tests for repro.stats.repeater: stopping rule and RepeatResult."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RepeatBudgetError, StatsError
+from repro.stats import RateEstimate, RepeatResult
+from repro.stats.repeater import STOP_BUDGET, STOP_TARGET, target_met
+
+
+def _estimate(rate=0.2, low=0.15, high=0.25, metric="sdc"):
+    return RateEstimate(metric=metric, rate=rate, low=low, high=high,
+                        confidence=0.95, method="wilson", samples=100)
+
+
+class TestTargetMet:
+    def test_absolute_half_width(self):
+        est = _estimate()  # half-width 0.05
+        assert target_met(est, half_width=0.06)
+        assert target_met(est, half_width=0.05)
+        assert not target_met(est, half_width=0.04)
+
+    def test_relative_half_width(self):
+        est = _estimate()  # relative half-width 0.25
+        assert target_met(est, relative_half_width=0.3)
+        assert not target_met(est, relative_half_width=0.2)
+
+    def test_relative_target_never_met_at_zero_rate(self):
+        est = _estimate(rate=0.0, low=0.0, high=0.001)
+        assert not target_met(est, relative_half_width=10.0)
+        # the absolute target still works at rate zero
+        assert target_met(est, half_width=0.01)
+
+    def test_exactly_one_target_required(self):
+        est = _estimate()
+        with pytest.raises(StatsError):
+            target_met(est)
+        with pytest.raises(StatsError):
+            target_met(est, relative_half_width=0.1, half_width=0.1)
+
+    def test_targets_must_be_positive(self):
+        est = _estimate()
+        with pytest.raises(StatsError):
+            target_met(est, relative_half_width=0.0)
+        with pytest.raises(StatsError):
+            target_met(est, half_width=-0.1)
+
+
+class _Report:
+    def to_dict(self):
+        return {"kind": "stub"}
+
+
+def _result(converged, **overrides):
+    kwargs = dict(
+        metric="sdc",
+        converged=converged,
+        stop_reason=STOP_TARGET if converged else STOP_BUDGET,
+        batches=3,
+        total=3000,
+        estimate=_estimate(),
+        report=_Report(),
+        history=(_estimate(high=0.4), _estimate(high=0.3), _estimate()),
+        error=None if converged else "budget exhausted at 3000",
+    )
+    kwargs.update(overrides)
+    return RepeatResult(**kwargs)
+
+
+class TestRepeatResult:
+    def test_check_returns_self_when_converged(self):
+        result = _result(True)
+        assert result.check() is result
+
+    def test_check_raises_typed_error_on_budget_exhaustion(self):
+        with pytest.raises(RepeatBudgetError, match="budget exhausted"):
+            _result(False).check()
+
+    def test_check_raises_with_default_message(self):
+        with pytest.raises(RepeatBudgetError, match="'sdc'"):
+            _result(False, error=None).check()
+
+    def test_to_dict_round_trips_scalars_and_history(self):
+        data = _result(True).to_dict()
+        assert data["metric"] == "sdc"
+        assert data["converged"] is True
+        assert data["stop_reason"] == STOP_TARGET
+        assert data["batches"] == 3
+        assert data["total"] == 3000
+        assert data["error"] is None
+        assert data["report"] == {"kind": "stub"}
+        assert len(data["history"]) == 3
+        assert data["history"][-1] == data["estimate"]
+        # trajectory tightens: history is in evaluation order
+        widths = [e["high"] - e["low"] for e in data["history"]]
+        assert widths == sorted(widths, reverse=True)

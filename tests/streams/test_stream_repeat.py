@@ -1,0 +1,138 @@
+"""Tests for stream rate intervals and the repeat-until-confidence soak."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RepeatSpec, RunSpec, WorkloadSpec
+from repro.api.stream import StreamFaultSpec, StreamSpec
+from repro.errors import StatsError, StreamError
+from repro.streams import STREAM_RATE_METRICS, repeat_stream, run_stream
+from repro.streams.runner import _repeat_lengths
+
+
+def _spec(frames: int = 300, *, probability: float = 0.0,
+          policy: str = "default") -> StreamSpec:
+    faults = None
+    if probability > 0.0:
+        faults = StreamFaultSpec(probability=probability, transient_ccf=0,
+                                 permanent_sm=3, seu=1)
+    return StreamSpec(
+        run=RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                    policy=policy),
+        frames=frames,
+        faults=faults,
+    )
+
+
+def _repeat(metric="fault_sdc", *, relative_half_width=None,
+            half_width=None, batch=500, max_total=8000) -> RepeatSpec:
+    return RepeatSpec(metric=metric,
+                      relative_half_width=relative_half_width,
+                      half_width=half_width,
+                      batch=batch, max_total=max_total)
+
+
+class TestRateIntervals:
+    def test_metric_intervals_cover_the_catalogue(self):
+        report = run_stream(_spec(probability=0.3))
+        intervals = report.metric_intervals()
+        assert set(intervals) == set(STREAM_RATE_METRICS)
+        for metric, est in intervals.items():
+            assert est.metric == metric
+            assert est.low <= est.rate <= est.high
+
+    def test_fault_rate_absent_without_injections(self):
+        report = run_stream(_spec())
+        intervals = report.metric_intervals()
+        assert "fault_sdc" not in intervals
+        assert "deadline_miss" in intervals
+
+    def test_zero_trials_is_a_stats_error(self):
+        report = run_stream(_spec())
+        with pytest.raises(StatsError):
+            report.rate_interval("fault_sdc")
+
+    def test_unknown_metric_is_a_stream_error(self):
+        report = run_stream(_spec())
+        with pytest.raises(StreamError, match="unknown"):
+            report.rate_interval("throughput")
+
+    def test_interval_is_a_pure_function_of_the_report(self):
+        report = run_stream(_spec(probability=0.3))
+        digest = report.digest()
+        a = report.rate_interval("fault_sdc").to_dict()
+        b = report.rate_interval("fault_sdc").to_dict()
+        assert a == b
+        assert report.digest() == digest
+
+
+class TestRepeatSchedule:
+    def test_lengths_grow_geometrically_to_the_cap(self):
+        lengths = list(_repeat_lengths(_repeat(relative_half_width=0.5,
+                                               batch=500,
+                                               max_total=8000)))
+        assert lengths == [500, 1000, 2000, 4000, 8000]
+
+    def test_ragged_cap_is_the_last_point(self):
+        lengths = list(_repeat_lengths(_repeat(relative_half_width=0.5,
+                                               batch=400,
+                                               max_total=1000)))
+        assert lengths == [400, 800, 1000]
+
+
+class TestRepeatStream:
+    def test_converges_on_the_fault_sdc_rate(self):
+        result = repeat_stream(
+            _spec(probability=0.05),
+            _repeat(relative_half_width=0.6),
+        )
+        assert result.converged
+        assert result.metric == "fault_sdc"
+        assert result.estimate.relative_half_width <= 0.6
+        assert result.report.frames == result.total
+        assert result.check() is result
+
+    def test_clean_stream_meets_an_absolute_target_immediately(self):
+        result = repeat_stream(
+            _spec(),
+            _repeat(metric="deadline_miss", half_width=0.05, batch=500),
+        )
+        assert result.converged
+        assert result.batches == 1
+        assert result.total == 500
+
+    def test_budget_exhaustion(self):
+        result = repeat_stream(
+            _spec(probability=0.05),
+            _repeat(relative_half_width=0.02, batch=500, max_total=2000),
+        )
+        assert not result.converged
+        assert result.total == 2000
+        assert "budget" in result.error
+        with pytest.raises(Exception):
+            result.check()
+
+    def test_trajectory_independent_of_workers_and_chunks(self):
+        repeat = _repeat(relative_half_width=0.6)
+        solo = repeat_stream(_spec(probability=0.05), repeat,
+                             workers=1, chunk_frames=128)
+        pooled = repeat_stream(_spec(probability=0.05), repeat,
+                               workers=2, chunk_frames=64)
+        assert solo.total == pooled.total
+        assert solo.report.digest() == pooled.report.digest()
+        assert ([e.to_dict() for e in solo.history]
+                == [e.to_dict() for e in pooled.history])
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(StreamError, match="unknown stream repeat"):
+            repeat_stream(_spec(), _repeat(metric="sdc", half_width=0.1))
+
+    def test_no_defined_estimate_is_a_stats_error(self):
+        # fault_sdc never has trials on a fault-free stream
+        with pytest.raises(StatsError, match="well-defined"):
+            repeat_stream(
+                _spec(),
+                _repeat(relative_half_width=0.5, batch=200,
+                        max_total=400),
+            )

@@ -57,6 +57,13 @@ class TestClassifyMetric:
                      "bit_identical", "verdict", "drop_rate"):
             assert bench_compare.classify_metric(name) == "exact"
 
+    def test_rate_count_pairs_defer_to_significance_testing(self):
+        # <m>_events / <m>_trials pairs are judged by `repro compare`
+        assert bench_compare.classify_metric("sdc_events") == "counts"
+        assert bench_compare.classify_metric("sdc_trials") == "counts"
+        assert bench_compare.classify_metric(
+            "uniform_sdc_events") == "counts"
+
 
 class TestCompareArtifacts:
     def test_identical_artifacts_pass(self):
@@ -94,6 +101,14 @@ class TestCompareArtifacts:
         cur = _artifact({"s": {"speedup": 6.0}})
         failures, _ = bench_compare.compare_artifacts(base, cur)
         assert len(failures) == 1
+
+    def test_count_drift_warns_instead_of_failing(self):
+        base = _artifact({"s": {"sdc_events": 20, "sdc_trials": 1000}})
+        cur = _artifact({"s": {"sdc_events": 25, "sdc_trials": 1000}})
+        failures, warnings = bench_compare.compare_artifacts(base, cur)
+        assert failures == []
+        assert len(warnings) == 1
+        assert "repro compare" in warnings[0]
 
     def test_digest_drift_fails(self):
         base = _artifact({"s": {"digest": "aaaa"}})

@@ -54,11 +54,16 @@ DEFAULT_RATIO_TOLERANCE = 0.35
 
 
 def classify_metric(name: str) -> str:
-    """Classify one metric name: deterministic, throughput, ratio or wall.
+    """Classify one metric name: deterministic, throughput, ratio, wall
+    or statistical counts.
 
     ``throughput_fps`` is *virtual-time* throughput (completed frames per
     second of simulated stream time) — a pure function of the spec, so it
     is held to exact equality like the digests, not to a tolerance.
+    ``*_events`` / ``*_trials`` count pairs are rate samples: whether a
+    drift in them *means* anything is a significance question, so this
+    gate only warns and defers the verdict to ``python -m repro
+    compare`` (the CI step right after this one).
     """
     if name == "throughput_fps":
         return "exact"
@@ -68,6 +73,8 @@ def classify_metric(name: str) -> str:
         return "ratio"
     if name.endswith("_s"):
         return "wall"
+    if name.endswith(("_events", "_trials")):
+        return "counts"
     return "exact"
 
 
@@ -146,6 +153,13 @@ def compare_artifacts(baseline: Dict[str, object],
                     warnings.append(
                         f"{scenario}.{metric}: wall {new}s vs baseline "
                         f"{old}s (+{(new / old - 1.0) * 100.0:.1f}%)"
+                    )
+            elif kind == "counts" and numeric:
+                if old != new:
+                    warnings.append(
+                        f"{scenario}.{metric}: count changed {old} -> "
+                        f"{new} — significance is judged by "
+                        "'python -m repro compare'"
                     )
             else:
                 if old != new:
