@@ -24,6 +24,7 @@ from repro.gpu.kernel import KernelDescriptor, KernelLaunch, dependent_chain
 from repro.gpu.reference import ReferenceSimulator
 from repro.gpu.scheduler import DefaultScheduler
 from repro.gpu.simulator import GPUSimulator, SimulationResult
+from repro.obs import Telemetry
 from repro.redundancy.manager import RedundantKernelManager
 
 _ARTIFACT = BenchArtifact(
@@ -34,9 +35,14 @@ _record = _ARTIFACT.record
 
 
 def _timed_simulation(scenario: str,
-                      run: Callable[[], SimulationResult]
-                      ) -> SimulationResult:
-    """Execute one simulation, recording wall time and throughput."""
+                      run: Callable[[], SimulationResult],
+                      **extra: object) -> SimulationResult:
+    """Execute one simulation, recording wall time and throughput.
+
+    ``extra`` metrics are merged into the scenario's record (the
+    artifact replaces a scenario's metrics wholesale, so everything
+    must land in this one call).
+    """
     t0 = time.perf_counter()
     result = run()
     wall = time.perf_counter() - t0
@@ -49,6 +55,7 @@ def _timed_simulation(scenario: str,
         events_per_sec=round(result.events / wall, 1),
         blocks_per_sec=round(blocks / wall, 1),
         makespan_cycles=result.makespan,
+        **extra,
     )
     return result
 
@@ -133,9 +140,27 @@ def test_simulator_large_grid_heterogeneous(benchmark):
     ]
 
     def run():
+        def leg(telemetry=None):
+            t0 = time.perf_counter()
+            if telemetry is None:
+                GPUSimulator(gpu, DefaultScheduler()).run(launches)
+            else:
+                with telemetry.span("simulate"):
+                    GPUSimulator(gpu, DefaultScheduler()).run(launches)
+            return time.perf_counter() - t0
+
+        # obs-overhead guard: the engine wraps simulation in a telemetry
+        # span; with telemetry disabled that wrapper must cost nothing.
+        # Best-of-2 per leg damps scheduler noise; tools/bench_compare.py
+        # fails the gate when obs_overhead_frac exceeds 2%.
+        null_s = min(leg(Telemetry()), leg(Telemetry()))
+        plain_s = min(leg(), leg())
+        overhead = max(0.0, round(null_s / plain_s - 1.0, 4))
+
         return _timed_simulation(
             "large_grid_heterogeneous",
             lambda: GPUSimulator(gpu, DefaultScheduler()).run(launches),
+            obs_overhead_frac=overhead,
         )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)

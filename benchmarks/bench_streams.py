@@ -28,6 +28,7 @@ from repro.api import (
     StreamSpec,
     WorkloadSpec,
 )
+from repro.obs import Telemetry
 from repro.streams import run_stream
 
 _ARTIFACT = BenchArtifact(
@@ -89,6 +90,27 @@ def test_stream_soak_100k_bit_identity(benchmark):
         assert baseline.to_dict() == alternate.to_dict()
         _assert_no_per_frame_records(baseline.to_dict(), frames)
 
+        # obs-overhead guard: a disabled Telemetry session (null sink,
+        # one boolean check per window) must not slow the frame loop —
+        # interleaved best-of-3 legs damp scheduler noise (single legs
+        # swing a few percent, far more than the true cost);
+        # tools/bench_compare.py fails the gate when obs_overhead_frac
+        # exceeds 2%
+        plain_legs = [baseline_s]
+        null_legs = []
+        for _ in range(3):
+            t0 = time.perf_counter()
+            null = run_stream(spec, workers=1, chunk_frames=65536,
+                              telemetry=Telemetry())
+            null_legs.append(time.perf_counter() - t0)
+            assert null.digest() == baseline.digest()
+            t0 = time.perf_counter()
+            run_stream(spec, workers=1, chunk_frames=65536)
+            plain_legs.append(time.perf_counter() - t0)
+        obs_overhead_frac = max(
+            0.0, round(min(null_legs) / min(plain_legs) - 1.0, 4)
+        )
+
         _record(
             "stream/soak_100k",
             frames=frames,
@@ -102,6 +124,7 @@ def test_stream_soak_100k_bit_identity(benchmark):
             sdc=baseline.faults_sdc,
             digest=baseline.digest(),
             bit_identical=True,
+            obs_overhead_frac=obs_overhead_frac,
         )
         return baseline
 

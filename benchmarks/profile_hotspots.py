@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
 """Profile the repo's two hot loops so perf work starts from data.
 
-Runs cProfile over the same workloads the throughput benchmarks gate:
+Runs :func:`repro.obs.profiled` — the same cProfile wiring behind
+``repro stream run --profile`` — over the workloads the throughput
+benchmarks gate:
 
 * ``het-grid`` — the ``large_grid_heterogeneous`` simulator scenario
   (1024 distinct-footprint launches on a 64-SM GPU), the headline
@@ -11,21 +13,20 @@ Runs cProfile over the same workloads the throughput benchmarks gate:
 
 For each selected scenario the top functions by cumulative time are
 printed (default 25), and ``--out DIR`` additionally saves a
-``<scenario>.pstats`` file for ``snakeviz`` / ``pstats`` digging.  The
-same profiler is reachable for arbitrary streams via
-``repro stream run --profile OUT.pstats``.
+``<scenario>.pstats`` file for ``snakeviz`` / ``pstats`` digging.
+``--spans`` runs the soak under an in-memory telemetry session first
+and prints its phase span tree — use it to pick the phase worth
+profiling before paying the ~2x profiler overhead.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/profile_hotspots.py [het-grid|soak|all]
-        [--frames N] [--top N] [--out DIR]
+        [--frames N] [--top N] [--out DIR] [--spans]
 """
 
 from __future__ import annotations
 
 import argparse
-import cProfile
-import pstats
 import sys
 from pathlib import Path
 from typing import Callable, Dict
@@ -33,19 +34,29 @@ from typing import Callable, Dict
 
 def _profile(label: str, fn: Callable[[], object], *, top: int,
              out_dir: Path = None) -> None:
-    """cProfile one workload and print its top-``top`` cumulative rows."""
+    """Profile one workload and print its top-``top`` cumulative rows."""
+    from repro.obs import profiled
+
     print(f"=== {label} ===")
-    profiler = cProfile.Profile()
-    profiler.enable()
-    fn()
-    profiler.disable()
-    stats = pstats.Stats(profiler, stream=sys.stdout)
-    stats.sort_stats("cumulative").print_stats(top)
+    out = None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
-        target = out_dir / f"{label}.pstats"
-        stats.dump_stats(str(target))
-        print(f"saved {target}")
+        out = out_dir / f"{label}.pstats"
+    with profiled(out=out, top=top):
+        fn()
+    if out is not None:
+        print(f"saved {out}")
+
+
+def _span_report(frames: int) -> None:
+    """Run the soak under telemetry and print its phase span tree."""
+    from repro.obs import MemorySink, Telemetry, render_report, summarize
+
+    telemetry = Telemetry(MemorySink())
+    _run_soak(frames, telemetry=telemetry)
+    telemetry.close()
+    print("=== soak span tree ===")
+    print(render_report(summarize(telemetry.sink.events)))
 
 
 def _run_het_grid() -> object:
@@ -75,13 +86,13 @@ def _run_het_grid() -> object:
     return GPUSimulator(gpu, DefaultScheduler()).run(launches)
 
 
-def _run_soak(frames: int) -> object:
+def _run_soak(frames: int, telemetry=None) -> object:
     """The 100k-frame stream soak scenario (scaled by ``--frames``)."""
     from bench_streams import _soak_spec
 
     from repro.streams import run_stream
 
-    return run_stream(_soak_spec(frames), workers=1)
+    return run_stream(_soak_spec(frames), workers=1, telemetry=telemetry)
 
 
 def main(argv=None) -> int:
@@ -100,8 +111,13 @@ def main(argv=None) -> int:
                              "(default %(default)s)")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory to save <scenario>.pstats files in")
+    parser.add_argument("--spans", action="store_true",
+                        help="print the soak's telemetry span tree before "
+                             "profiling (phase-level timings)")
     args = parser.parse_args(argv)
 
+    if args.spans:
+        _span_report(args.frames)
     runs: Dict[str, Callable[[], object]] = {}
     if args.scenario in ("het-grid", "all"):
         runs["het-grid"] = _run_het_grid

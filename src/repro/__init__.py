@@ -41,7 +41,11 @@ Top-level packages:
   bootstrap confidence intervals, stratified / importance-sampled rate
   estimators with Horvitz–Thompson reweighting, repeat-until-confidence
   stopping, and the two-artifact significance comparison behind
-  ``python -m repro compare`` (``docs/STATISTICS.md``).
+  ``python -m repro compare`` (``docs/STATISTICS.md``);
+* :mod:`repro.obs` — the observability plane: typed
+  ``repro-telemetry/v1`` event logs, tracing spans, metrics and live
+  progress for campaign/stream/platform runs, strictly digest-neutral
+  (``docs/OBSERVABILITY.md``).
 
 Quickstart — one declarative run::
 
@@ -74,6 +78,7 @@ from repro.errors import (
     ConfigurationError,
     FaultInjectionError,
     LintError,
+    ObsError,
     PlatformError,
     RedundancyError,
     RepeatBudgetError,
@@ -111,7 +116,7 @@ from repro.redundancy import (
 )
 from repro.workloads import classify_kernel, get_benchmark
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 # the api and campaigns packages import repro.__version__ lazily at run
 # time, so these imports must stay below the version assignment
@@ -153,6 +158,7 @@ from repro.stats import (
 )
 from repro.streams import StreamReport, repeat_stream, run_stream
 from repro.platform import PlatformReport, plan_placement, run_platform
+from repro.obs import Telemetry
 
 __all__ = [
     "__version__",
@@ -171,6 +177,7 @@ __all__ = [
     "LintError",
     "StatsError",
     "RepeatBudgetError",
+    "ObsError",
     # gpu
     "GPUConfig",
     "SMConfig",
@@ -238,4 +245,6 @@ __all__ = [
     "PlatformReport",
     "plan_placement",
     "run_platform",
+    # observability
+    "Telemetry",
 ]

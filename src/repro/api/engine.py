@@ -41,6 +41,7 @@ from repro.gpu.cots import cots_end_to_end
 from repro.gpu.kernel import KernelDescriptor, dependent_chain
 from repro.gpu.scheduler.registry import make_scheduler
 from repro.gpu.simulator import GPUSimulator, SimulationResult
+from repro.obs.session import NULL_TELEMETRY, Telemetry
 from repro.redundancy.diversity import (
     DEFAULT_PHASE_TOLERANCE,
     analyze_diversity,
@@ -64,10 +65,16 @@ class Engine:
     Args:
         validate: forward the simulator's trace-validation switch (on by
             default; disabling buys a few percent of run time).
+        telemetry: optional :class:`~repro.obs.session.Telemetry`
+            session receiving per-run spans and batch heartbeats; the
+            engine only emits from the orchestrating process (sinks are
+            not picklable), and telemetry never changes any artifact.
     """
 
-    def __init__(self, *, validate: bool = True) -> None:
+    def __init__(self, *, validate: bool = True,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self._validate = validate
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     # ------------------------------------------------------------------
     # single run
@@ -79,6 +86,7 @@ class Engine:
             ConfigurationError: for specs whose options do not fit their
                 workload (e.g. a fault plan on a workload with no kernels).
         """
+        tm = self._telemetry
         gpu = spec.gpu.to_config()
         kernels = spec.workload.resolve(gpu)
 
@@ -89,23 +97,29 @@ class Engine:
         faults: Optional[FaultSummary] = None
 
         if spec.simulate and kernels:
-            if spec.effective_copies >= 2:
-                (timing, diversity, comparisons, faults,
-                 scheduler_name) = self._run_redundant(spec, gpu, kernels)
-            else:
-                sim = self._run_plain(spec, gpu, kernels)
-                scheduler_name = sim.scheduler_name
-                timing = self._timing(sim, gpu)
+            with tm.span("simulate", label=spec.label,
+                         copies=spec.effective_copies):
+                if spec.effective_copies >= 2:
+                    (timing, diversity, comparisons, faults,
+                     scheduler_name) = self._run_redundant(spec, gpu, kernels)
+                else:
+                    sim = self._run_plain(spec, gpu, kernels)
+                    scheduler_name = sim.scheduler_name
+                    timing = self._timing(sim, gpu)
         elif spec.faults is not None:
             raise ConfigurationError(
                 f"spec {spec.label!r}: a fault campaign needs a simulated "
                 "redundant run, but the workload has no kernel chain"
             )
 
-        classification = (
-            self._classify(kernels, gpu) if spec.classify else ()
-        )
+        if spec.classify:
+            with tm.span("classify", kernels=len(kernels)):
+                classification = self._classify(kernels, gpu)
+        else:
+            classification = ()
         cots = self._cots(spec) if spec.cots is not None else None
+        if tm.enabled:
+            tm.metrics.add("runs")
 
         from repro import __version__
 
@@ -161,19 +175,34 @@ class Engine:
 
     def _stream(self, spec_list: List[RunSpec],
                 workers: int) -> Iterator[RunArtifact]:
+        tm = self._telemetry
+        tm.emit("run_start", kind="engine-batch", specs=len(spec_list),
+                workers=workers)
+        done = 0
         if workers == 1 or len(spec_list) <= 1:
             for spec in spec_list:
                 yield self.run(spec)
-            return
-        items = [(spec, self._validate) for spec in spec_list]
-        pool_size = min(workers, len(spec_list))
-        # chunked submission amortises per-task pickling/IPC overhead on
-        # large batches; map() preserves spec order regardless of chunking,
-        # so results stay identical for any worker count
-        chunksize = max(1, math.ceil(len(items) / (pool_size * 4)))
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            for artifact in pool.map(_worker_run, items, chunksize=chunksize):
-                yield artifact
+                done += 1
+                if tm.enabled:
+                    tm.beat("engine", done, len(spec_list),
+                            rate_counter="runs", unit="runs/s")
+        else:
+            items = [(spec, self._validate) for spec in spec_list]
+            pool_size = min(workers, len(spec_list))
+            # chunked submission amortises per-task pickling/IPC overhead on
+            # large batches; map() preserves spec order regardless of
+            # chunking, so results stay identical for any worker count
+            chunksize = max(1, math.ceil(len(items) / (pool_size * 4)))
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                for artifact in pool.map(_worker_run, items,
+                                         chunksize=chunksize):
+                    yield artifact
+                    done += 1
+                    if tm.enabled:
+                        tm.metrics.add("runs")
+                        tm.beat("engine", done, len(spec_list),
+                                rate_counter="runs", unit="runs/s")
+        tm.emit("run_end", kind="engine-batch", completed=done)
 
     # ------------------------------------------------------------------
     # internals

@@ -46,6 +46,7 @@ from repro.faults.campaign import (
     sampling_metadata,
 )
 from repro.faults.outcomes import FaultOutcome
+from repro.obs.session import NULL_TELEMETRY, Telemetry
 from repro.redundancy.manager import RedundantKernelManager
 from repro.stats.intervals import RateEstimate
 from repro.stats.repeater import (
@@ -342,11 +343,40 @@ def validated_records(store: CampaignStore,
     return records
 
 
+def _observe_record(tm: Telemetry, record: ShardRecord, *,
+                    store: Optional[CampaignStore], done_count: int,
+                    total_shards: int) -> None:
+    """Per-shard telemetry block (single check, no-op when disabled).
+
+    Telemetry observes the consumption loop and never feeds back into
+    it: the record was already appended to the store (checkpoint event
+    comes after the fact) and the fold never reads any of this.
+    """
+    if not tm.enabled:
+        return
+    if store is not None:
+        tm.emit("checkpoint", shard=record.shard,
+                path=store.shards_path.as_posix())
+    totals = record.outcome_totals()
+    tm.metrics.add("injections", record.injections)
+    tm.metrics.add("shards", 1)
+    tm.metrics.set_gauge("pending_shards", float(total_shards - done_count))
+    tm.metrics.observe("shard_injections", record.injections)
+    tm.emit("shard_end", shard=record.shard, start=record.start,
+            stop=record.stop, injections=record.injections,
+            masked=totals.get(FaultOutcome.MASKED, 0),
+            detected=totals.get(FaultOutcome.DETECTED, 0),
+            sdc=totals.get(FaultOutcome.SDC, 0))
+    tm.beat("campaign", done_count, total_shards,
+            rate_counter="injections", unit="inj/s")
+
+
 def run_campaign(spec: CampaignSpec, *,
                  store: Union[CampaignStore, str, Path, None] = None,
                  workers: int = 1,
                  max_shards: Optional[int] = None,
-                 validate: bool = True) -> CampaignReport:
+                 validate: bool = True,
+                 telemetry: Optional[Telemetry] = None) -> CampaignReport:
     """Run (or continue) a sharded campaign and fold its aggregate report.
 
     Args:
@@ -362,6 +392,10 @@ def run_campaign(spec: CampaignSpec, *,
             checkpointed budget knob, also used by tests and benchmarks to
             interrupt a campaign deterministically.
         validate: forward the simulator's trace-validation switch.
+        telemetry: optional :class:`~repro.obs.session.Telemetry`
+            session observing the run (lifecycle events, spans, the
+            progress ticker).  Strictly digest-neutral: the report is
+            bit-identical with telemetry on, off or interrupted.
 
     Returns:
         The aggregate :class:`~repro.faults.campaign.CampaignReport` over
@@ -381,16 +415,33 @@ def run_campaign(spec: CampaignSpec, *,
             "this spec carries a repeat-until-confidence rule — run it "
             "with repeat_campaign(), which owns the stopping decision"
         )
-    plan = campaign_plan(spec)
+    tm = telemetry if telemetry is not None else NULL_TELEMETRY
     store = _as_store(store)
     done: Dict[int, ShardRecord] = {}
-    if store is not None:
-        store.initialise(spec)
-        done = validated_records(store, plan)
+    with tm.span("plan"):
+        plan = campaign_plan(spec)
+        if store is not None:
+            store.initialise(spec)
+            done = validated_records(store, plan)
 
     pending = [shard for shard in plan if shard.index not in done]
     if max_shards is not None:
         pending = pending[:max(0, max_shards)]
+
+    tm.emit("run_start", kind="campaign", label=spec.label,
+            spec_hash=spec.config_hash, shards=len(plan),
+            pending=len(pending), total_injections=spec.total_injections,
+            resumed_shards=len(done))
+    if tm.enabled and plan:
+        tm.metrics.set_gauge("resume_hit_rate", len(done) / len(plan))
+        if done:
+            # shards below the completion horizon were dispatched by an
+            # earlier, interrupted session and are going out again
+            horizon = max(done)
+            for shard in pending:
+                if shard.index < horizon:
+                    tm.emit("retry", shard=shard.index,
+                            reason="re-dispatched after interrupt")
 
     if pending:
         spec_json = spec.to_json()
@@ -398,32 +449,71 @@ def run_campaign(spec: CampaignSpec, *,
             (spec_json, shard.index, shard.start, shard.stop, validate)
             for shard in pending
         ]
-        for record in _execute(tasks, workers):
-            if store is not None:
-                store.append(record)
-            done[record.shard] = record
+        with tm.span("execute", shards=len(pending), workers=workers):
+            for record in _execute(tasks, workers, telemetry=tm):
+                if store is not None:
+                    store.append(record)
+                done[record.shard] = record
+                _observe_record(tm, record, store=store,
+                                done_count=len(done),
+                                total_shards=len(plan))
 
-    return fold_report(done.values(), sampling=spec_sampling_meta(spec))
+    with tm.span("fold", shards=len(done)):
+        report = fold_report(done.values(),
+                             sampling=spec_sampling_meta(spec))
+    if tm.enabled:
+        tm.beat("campaign", len(done), len(plan),
+                rate_counter="injections", unit="inj/s", force=True)
+    tm.emit("run_end", kind="campaign", digest=report.digest(),
+            total=report.total, masked=report.masked,
+            detected=report.detected, sdc=report.sdc)
+    return report
 
 
 def _execute(tasks: List[Tuple[str, int, int, int, bool]],
-             workers: int) -> Iterable[ShardRecord]:
-    """Yield shard records as they complete (in-process or pooled)."""
+             workers: int,
+             telemetry: Optional[Telemetry] = None
+             ) -> Iterable[ShardRecord]:
+    """Yield shard records as they complete (in-process or pooled).
+
+    Telemetry is emitted from the orchestrator only (sinks do not cross
+    the process boundary): ``shard_start`` at dispatch — submission
+    time on the pooled path — and ``worker_error`` when a shard raises,
+    immediately before the error propagates.
+    """
+    tm = telemetry if telemetry is not None else NULL_TELEMETRY
     if workers == 1 or len(tasks) == 1:
         for task in tasks:
-            yield _execute_shard(task)
+            tm.emit("shard_start", shard=task[1], start=task[2],
+                    stop=task[3], pooled=False)
+            try:
+                record = _execute_shard(task)
+            except Exception as exc:
+                tm.emit("worker_error", shard=task[1], error=repr(exc))
+                raise
+            yield record
         return
     pool_size = min(workers, len(tasks))
     with ProcessPoolExecutor(max_workers=pool_size) as pool:
-        futures = [pool.submit(_execute_shard, task) for task in tasks]
+        futures = {}
+        for task in tasks:
+            tm.emit("shard_start", shard=task[1], start=task[2],
+                    stop=task[3], pooled=True)
+            futures[pool.submit(_execute_shard, task)] = task[1]
         for future in as_completed(futures):
-            yield future.result()
+            try:
+                yield future.result()
+            except Exception as exc:
+                tm.emit("worker_error", shard=futures[future],
+                        error=repr(exc))
+                raise
 
 
 def resume_campaign(store: Union[CampaignStore, str, Path], *,
                     workers: int = 1,
                     max_shards: Optional[int] = None,
-                    validate: bool = True
+                    validate: bool = True,
+                    telemetry: Optional[Telemetry] = None
                     ) -> Union[CampaignReport, RepeatResult]:
     """Continue a persisted campaign from its manifest alone.
 
@@ -446,9 +536,10 @@ def resume_campaign(store: Union[CampaignStore, str, Path], *,
                 "campaign — the stopping rule decides when to stop"
             )
         return repeat_campaign(spec, store=store, workers=workers,
-                               validate=validate)
+                               validate=validate, telemetry=telemetry)
     return run_campaign(spec, store=store, workers=workers,
-                        max_shards=max_shards, validate=validate)
+                        max_shards=max_shards, validate=validate,
+                        telemetry=telemetry)
 
 
 # ----------------------------------------------------------------------
@@ -457,7 +548,8 @@ def resume_campaign(store: Union[CampaignStore, str, Path], *,
 def repeat_campaign(spec: CampaignSpec, *,
                     store: Union[CampaignStore, str, Path, None] = None,
                     workers: int = 1,
-                    validate: bool = True) -> RepeatResult:
+                    validate: bool = True,
+                    telemetry: Optional[Telemetry] = None) -> RepeatResult:
     """Extend a campaign batch-by-batch until its CI target is met.
 
     The SHARP-style repeater: the shard plan spans the whole
@@ -498,13 +590,21 @@ def repeat_campaign(spec: CampaignSpec, *,
         )
     if workers < 1:
         raise CampaignError("workers must be >= 1")
+    tm = telemetry if telemetry is not None else NULL_TELEMETRY
     repeat = spec.repeat
-    plan = campaign_plan(spec)
     store = _as_store(store)
     done: Dict[int, ShardRecord] = {}
-    if store is not None:
-        store.initialise(spec)
-        done = validated_records(store, plan)
+    with tm.span("plan"):
+        plan = campaign_plan(spec)
+        if store is not None:
+            store.initialise(spec)
+            done = validated_records(store, plan)
+    tm.emit("run_start", kind="campaign-repeat", label=spec.label,
+            spec_hash=spec.config_hash, shards=len(plan),
+            metric=repeat.metric, budget=repeat.max_total,
+            resumed_shards=len(done))
+    if tm.enabled and plan:
+        tm.metrics.set_gauge("resume_hit_rate", len(done) / len(plan))
 
     meta = spec_sampling_meta(spec)
     running = CampaignReport(policy="")
@@ -559,12 +659,19 @@ def repeat_campaign(spec: CampaignSpec, *,
             (spec_json, shard.index, shard.start, shard.stop, validate)
             for shard in wave
         ]
-        for record in _execute(tasks, workers):
-            if store is not None:
-                store.append(record)
-            done[record.shard] = record
+        with tm.span("wave", shards=len(wave)):
+            for record in _execute(tasks, workers, telemetry=tm):
+                if store is not None:
+                    store.append(record)
+                done[record.shard] = record
+                _observe_record(tm, record, store=store,
+                                done_count=len(done),
+                                total_shards=len(plan))
         _advance()
 
+    if tm.enabled:
+        tm.beat("campaign", len(done), len(plan),
+                rate_counter="injections", unit="inj/s", force=True)
     if not history:
         raise StatsError(
             f"no prefix of the {spec.total_injections}-injection budget "
@@ -572,6 +679,8 @@ def repeat_campaign(spec: CampaignSpec, *,
             + (f": {last_stats_error}" if last_stats_error else "")
         )
     estimate = history[-1]
+    tm.emit("run_end", kind="campaign-repeat", converged=stopped,
+            batches=folded, total=running.total)
     error = None
     if not stopped:
         target = (f"relative half-width <= {repeat.relative_half_width}"

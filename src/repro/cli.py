@@ -52,6 +52,19 @@ Determinism-contract linter (:mod:`repro.lint`)::
 ``lint`` exits 1 when violations are found (the CI gate) and 2 when the
 linter itself is misconfigured.
 
+Observability (:mod:`repro.obs`) — every ``campaign run/resume``,
+``stream run`` and ``platform run`` accepts ``--telemetry PATH`` (typed
+``repro-telemetry/v1`` JSONL event log), ``--progress`` (live stderr
+ticker) and ``--heartbeat S``; telemetry never changes any report::
+
+    python -m repro campaign run --spec c.json --telemetry t.jsonl --progress
+    python -m repro obs validate t.jsonl            # schema check
+    python -m repro obs report t.jsonl --top 5      # span tree + hotspots
+
+``obs validate`` exits 1 on schema violations and 2 when the file
+cannot be read; ``obs report`` renders run summaries, the span tree and
+self-time hotspots (``--json`` for the repro-obs-report/v1 schema).
+
 Statistical significance diff (:mod:`repro.stats`)::
 
     python -m repro compare old.json new.json           # same-kind artifacts
@@ -111,11 +124,22 @@ from repro.errors import (
     CampaignError,
     ConfigurationError,
     LintError,
+    ObsError,
     ReproError,
     StatsError,
 )
 from repro.faults.campaign import CampaignReport
 from repro.lint import load_config, run_lint
+from repro.obs import (
+    DEFAULT_HEARTBEAT_S,
+    TELEMETRY_SCHEMA,
+    Telemetry,
+    profiled,
+    read_telemetry,
+    render_report,
+    summarize,
+    validate_events,
+)
 from repro.gpu.config import GPUConfig
 from repro.iso26262.decomposition import FIGURE1_EXAMPLES
 from repro.platform.placement import plan_placement
@@ -326,6 +350,46 @@ def _cmd_batch(args: argparse.Namespace) -> str:
 
 
 # ----------------------------------------------------------------------
+# observability: --telemetry/--progress plumbing and the obs command
+# ----------------------------------------------------------------------
+def _open_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
+    """Build the Telemetry session the run flags ask for (or ``None``)."""
+    if not (args.telemetry or args.progress):
+        return None
+    return Telemetry.create(path=args.telemetry, progress=args.progress,
+                            heartbeat_s=args.heartbeat)
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Validate or render a telemetry event log; return the exit code.
+
+    ``obs validate`` exits 0 when the file is schema-valid, 1 on
+    violations, 2 when it cannot be read at all.  ``obs report`` renders
+    the run summaries, span tree and hotspots (exit 2 on an unreadable
+    file).
+    """
+    try:
+        events = read_telemetry(args.path)
+    except ObsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.obs_command == "validate":
+        problems = validate_events(events)
+        if problems:
+            for problem in problems:
+                print(f"{args.path}: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.path}: {len(events)} event(s) OK ({TELEMETRY_SCHEMA})")
+        return 0
+    summary = summarize(events)
+    if args.json:
+        print(json.dumps(summary, sort_keys=True, indent=2))
+    else:
+        print(render_report(summary, top=args.top))
+    return 0
+
+
+# ----------------------------------------------------------------------
 # sharded campaigns: campaign run / resume / status / report
 # ----------------------------------------------------------------------
 def _load_campaign_spec(path: str) -> CampaignSpec:
@@ -398,21 +462,29 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
     command = args.campaign_command
     if command == "run":
         spec = _load_campaign_spec(args.spec)
-        if spec.repeat is not None:
-            if args.max_shards is not None:
-                raise CampaignError(
-                    "--max-shards does not apply to a repeat-until-"
-                    "confidence campaign — the stopping rule decides"
+        telemetry = _open_telemetry(args)
+        try:
+            if spec.repeat is not None:
+                if args.max_shards is not None:
+                    raise CampaignError(
+                        "--max-shards does not apply to a repeat-until-"
+                        "confidence campaign — the stopping rule decides"
+                    )
+                result = repeat_campaign(spec, store=args.dir,
+                                         workers=args.workers,
+                                         telemetry=telemetry)
+                return _repeat_result_text(
+                    result, as_json=args.json,
+                    title=f"Campaign repeat — {spec.label} "
+                          f"({spec.config_hash})",
                 )
-            result = repeat_campaign(spec, store=args.dir,
-                                     workers=args.workers)
-            return _repeat_result_text(
-                result, as_json=args.json,
-                title=f"Campaign repeat — {spec.label} "
-                      f"({spec.config_hash})",
-            )
-        report = run_campaign(spec, store=args.dir, workers=args.workers,
-                              max_shards=args.max_shards)
+            report = run_campaign(spec, store=args.dir,
+                                  workers=args.workers,
+                                  max_shards=args.max_shards,
+                                  telemetry=telemetry)
+        finally:
+            if telemetry is not None:
+                telemetry.close()
         if report.total < spec.total_injections:
             if args.dir is not None:
                 return _campaign_status_text(
@@ -429,20 +501,27 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
     if command == "resume":
         store = CampaignStore(args.dir)
         spec = store.load_spec()
-        if spec.repeat is not None:
-            if args.max_shards is not None:
-                raise CampaignError(
-                    "--max-shards does not apply to a repeat-until-"
-                    "confidence campaign — the stopping rule decides"
+        telemetry = _open_telemetry(args)
+        try:
+            if spec.repeat is not None:
+                if args.max_shards is not None:
+                    raise CampaignError(
+                        "--max-shards does not apply to a repeat-until-"
+                        "confidence campaign — the stopping rule decides"
+                    )
+                result = repeat_campaign(spec, store=store,
+                                         workers=args.workers,
+                                         telemetry=telemetry)
+                return _repeat_result_text(
+                    result, as_json=args.json,
+                    title=f"Campaign repeat — spec {spec.config_hash}",
                 )
-            result = repeat_campaign(spec, store=store,
-                                     workers=args.workers)
-            return _repeat_result_text(
-                result, as_json=args.json,
-                title=f"Campaign repeat — spec {spec.config_hash}",
-            )
-        report = run_campaign(spec, store=store, workers=args.workers,
-                              max_shards=args.max_shards)
+            report = run_campaign(spec, store=store, workers=args.workers,
+                                  max_shards=args.max_shards,
+                                  telemetry=telemetry)
+        finally:
+            if telemetry is not None:
+                telemetry.close()
         if report.total < spec.total_injections:
             return _campaign_status_text(
                 campaign_status(store), as_json=args.json
@@ -511,21 +590,18 @@ def _cmd_stream(args: argparse.Namespace) -> str:
             from dataclasses import replace
 
             spec = replace(spec, frames=args.frames)
-        if args.profile:
-            import cProfile
-
-            profiler = cProfile.Profile()
-            profiler.enable()
-            report = run_stream(spec, workers=args.workers)
-            profiler.disable()
-            try:
-                profiler.dump_stats(args.profile)
-            except OSError as exc:
-                raise ConfigurationError(
-                    f"cannot write profile file {args.profile!r}: {exc}"
-                )
-        else:
-            report = run_stream(spec, workers=args.workers)
+        telemetry = _open_telemetry(args)
+        try:
+            if args.profile:
+                with profiled(out=args.profile):
+                    report = run_stream(spec, workers=args.workers,
+                                        telemetry=telemetry)
+            else:
+                report = run_stream(spec, workers=args.workers,
+                                    telemetry=telemetry)
+        finally:
+            if telemetry is not None:
+                telemetry.close()
         if args.out:
             try:
                 Path(args.out).write_text(report.to_json(indent=2) + "\n")
@@ -584,7 +660,13 @@ def _cmd_platform(args: argparse.Namespace) -> str:
             spec = replace(spec, tasks=tuple(
                 replace(task, frames=args.frames) for task in spec.tasks
             ))
-        report = run_platform(spec, workers=args.workers)
+        telemetry = _open_telemetry(args)
+        try:
+            report = run_platform(spec, workers=args.workers,
+                                  telemetry=telemetry)
+        finally:
+            if telemetry is not None:
+                telemetry.close()
         if args.out:
             try:
                 Path(args.out).write_text(report.to_json(indent=2) + "\n")
@@ -790,6 +872,17 @@ def _build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--json", action="store_true",
                         help="emit the stable JSON report schema")
 
+    def _telemetry_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--telemetry", default=None, metavar="OUT.jsonl",
+                       help="append a repro-telemetry/v1 event log to this "
+                            "file (inspect with `repro obs report`)")
+        p.add_argument("--progress", action="store_true",
+                       help="paint a live progress line on stderr")
+        p.add_argument("--heartbeat", type=float,
+                       default=DEFAULT_HEARTBEAT_S, metavar="S",
+                       help="seconds between heartbeat events "
+                            f"(default {DEFAULT_HEARTBEAT_S})")
+
     campaign_p = sub.add_parser(
         "campaign",
         help="sharded resumable fault-injection campaigns",
@@ -818,6 +911,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="campaign store directory (enables "
                            "checkpoint/resume; omit for in-memory)")
     _campaign_common(crun, execution=True)
+    _telemetry_flags(crun)
 
     cresume = campaign_sub.add_parser(
         "resume", help="continue a persisted campaign from its manifest"
@@ -825,6 +919,7 @@ def _build_parser() -> argparse.ArgumentParser:
     cresume.add_argument("--dir", required=True,
                          help="campaign store directory")
     _campaign_common(cresume, execution=True)
+    _telemetry_flags(cresume)
 
     cstatus = campaign_sub.add_parser(
         "status", help="shard/injection progress of a campaign store"
@@ -869,6 +964,7 @@ def _build_parser() -> argparse.ArgumentParser:
                            "(inspect with pstats or snakeviz)")
     srun.add_argument("--json", action="store_true",
                       help="emit report JSON instead of a table")
+    _telemetry_flags(srun)
 
     sreport = stream_sub.add_parser(
         "report", help="render a previously saved stream report"
@@ -900,6 +996,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="also write the report JSON to this file")
     prun.add_argument("--json", action="store_true",
                       help="emit report JSON instead of a table")
+    _telemetry_flags(prun)
 
     pplan = platform_sub.add_parser(
         "plan", help="show the placement decision without executing"
@@ -917,6 +1014,30 @@ def _build_parser() -> argparse.ArgumentParser:
     preport.add_argument("--json", action="store_true",
                          help="emit report JSON instead of a table")
 
+    obs_p = sub.add_parser(
+        "obs",
+        help="inspect repro-telemetry/v1 event logs (repro.obs)",
+    )
+    obs_sub = obs_p.add_subparsers(
+        dest="obs_command", required=True, metavar="action"
+    )
+
+    oreport = obs_sub.add_parser(
+        "report", help="render run summaries, the span tree and hotspots"
+    )
+    oreport.add_argument("path", metavar="TELEMETRY.jsonl",
+                         help="telemetry file written by --telemetry")
+    oreport.add_argument("--top", type=int, default=10,
+                         help="hotspot rows to show (default 10)")
+    oreport.add_argument("--json", action="store_true",
+                         help="emit the stable repro-obs-report/v1 schema")
+
+    ovalidate = obs_sub.add_parser(
+        "validate", help="check a telemetry file against the v1 schema"
+    )
+    ovalidate.add_argument("path", metavar="TELEMETRY.jsonl",
+                           help="telemetry file written by --telemetry")
+
     return parser
 
 
@@ -931,6 +1052,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # compare prints its own verdict; exit 1 = significant
             # difference, 2 = misuse
             return _cmd_compare(args)
+        if args.command == "obs":
+            # obs prints its own output; exit 1 = schema violations,
+            # 2 = unreadable file
+            return _cmd_obs(args)
         if args.command == "run":
             print(_cmd_run(args))
         elif args.command == "batch":

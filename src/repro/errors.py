@@ -113,6 +113,18 @@ class LintError(ReproError):
     """
 
 
+class ObsError(ReproError):
+    """The observability layer (:mod:`repro.obs`) was misused or fed garbage.
+
+    Examples: a telemetry line that is not a JSON object, an event of an
+    unknown type, a sequence number that goes backwards inside one
+    session, or a non-positive heartbeat interval.  Telemetry problems
+    never surface as any other error type: the instrumented runners only
+    ever *emit*, so a broken telemetry file can only be detected by the
+    reader (``repro obs validate`` / ``repro obs report``).
+    """
+
+
 class StatsError(ReproError):
     """A statistical estimator or comparison was asked the impossible.
 

@@ -78,6 +78,15 @@ _DIGEST_MODULES: Tuple[str, ...] = (
     "*/api/*.py",
 )
 
+# The telemetry plane (repro.obs) is the repository's only wall-clock
+# quarantine: span timers and heartbeats read time.monotonic there, and
+# nothing downstream of a report digest ever reads it back (ISSUE 9 /
+# docs/OBSERVABILITY.md).  RL002 therefore runs everywhere *except*
+# these paths.
+_WALL_CLOCK_QUARANTINE: Tuple[str, ...] = (
+    "*/repro/obs/*",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -102,6 +111,7 @@ class LintConfig:
     def default(cls) -> "LintConfig":
         """The built-in scoping (mirrored by the shipped repro-lint.toml)."""
         return cls(scopes={
+            "RL002": RuleScope(exclude=_WALL_CLOCK_QUARANTINE),
             "RL003": RuleScope(include=_DIGEST_MODULES),
             "RL004": RuleScope(include=("*/api/*.py",)),
         })

@@ -1,0 +1,79 @@
+"""Observability for long-running workloads: events, spans, metrics.
+
+``repro.obs`` is the telemetry plane of the repository — the one place
+allowed to read a clock.  It provides:
+
+* a **structured event log** — typed lifecycle events appended as
+  ``repro-telemetry/v1`` JSONL (:mod:`repro.obs.events`,
+  :mod:`repro.obs.sink`);
+* **tracing spans** — nested phase timers emitted into the same stream
+  and rebuilt into a trace tree by ``repro obs report``
+  (:mod:`repro.obs.spans`, :mod:`repro.obs.report`);
+* a **metrics registry** — O(1) counters/gauges/histograms snapshotted
+  on a heartbeat (:mod:`repro.obs.metrics`);
+* **live progress** — the ``--progress`` stderr ticker
+  (:mod:`repro.obs.progress`);
+* shared **cProfile wiring** for the profiling entry points
+  (:mod:`repro.obs.profiling`).
+
+Everything hangs off one facade, :class:`~repro.obs.session.Telemetry`,
+which the campaign/stream/platform runners and the engine accept as an
+optional argument.  Telemetry is strictly digest-neutral: it observes
+execution and never feeds back into it, so every report is bit-identical
+with telemetry on, off, or interrupted (see ``docs/OBSERVABILITY.md``
+for the contract and ``tests/obs/`` for the proof).
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    TELEMETRY_SCHEMA,
+    check_events,
+    validate_event,
+    validate_events,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import profiled
+from repro.obs.progress import ProgressTicker, render_progress
+from repro.obs.report import (
+    OBS_REPORT_SCHEMA,
+    build_spans,
+    render_report,
+    summarize,
+)
+from repro.obs.session import DEFAULT_HEARTBEAT_S, NULL_TELEMETRY, Telemetry
+from repro.obs.sink import (
+    NULL_SINK,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TelemetrySink,
+    read_telemetry,
+)
+from repro.obs.spans import Span, Tracer
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_S",
+    "EVENT_TYPES",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NULL_SINK",
+    "NULL_TELEMETRY",
+    "NullSink",
+    "OBS_REPORT_SCHEMA",
+    "ProgressTicker",
+    "Span",
+    "TELEMETRY_SCHEMA",
+    "Telemetry",
+    "TelemetrySink",
+    "Tracer",
+    "build_spans",
+    "check_events",
+    "profiled",
+    "read_telemetry",
+    "render_progress",
+    "render_report",
+    "summarize",
+    "validate_event",
+    "validate_events",
+]

@@ -1,0 +1,98 @@
+"""The metrics registry: O(1) counters, gauges and histograms.
+
+Counters accumulate monotonically (injections, frames, shards), gauges
+hold the latest value (queue depth, pending shards, resume hit-rate),
+histograms bucket observations against fixed bounds (per-shard
+injection counts, per-window completions).  Every operation is O(1) —
+a dict probe plus an add — so instrumented runners can update metrics
+once per window/shard without touching their perf budget.
+
+The registry never reads a clock; rates (injections/s, frames/s) are
+derived by the owning :class:`~repro.obs.session.Telemetry` from
+counter deltas between heartbeats, keeping every clock read inside the
+session.  :meth:`MetricsRegistry.snapshot` returns a plain sorted-key
+dict that embeds directly in ``heartbeat`` event payloads.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Sequence, Tuple, Union
+
+__all__ = ["DEFAULT_BOUNDS", "MetricsRegistry"]
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds (the last bucket is open).
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0,
+)
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one telemetry session."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Tuple[Tuple[float, ...], List[int],
+                                          List[float]]] = {}
+
+    def add(self, name: str, value: Number = 1) -> None:
+        """Increment counter ``name`` by ``value``."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self._counters.get(name, 0)
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: Number, *,
+                bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        Args:
+            name: histogram name.
+            value: the observation.
+            bounds: bucket upper bounds, ascending; fixed at the
+                histogram's first observation (later calls ignore it).
+        """
+        entry = self._histograms.get(name)
+        if entry is None:
+            bound_tuple = tuple(float(b) for b in bounds)
+            # counts has one extra slot for the open top bucket;
+            # the trailing list is [count, sum] running moments
+            entry = (bound_tuple, [0] * (len(bound_tuple) + 1), [0.0, 0.0])
+            self._histograms[name] = entry
+        bound_tuple, counts, moments = entry
+        counts[bisect_right(bound_tuple, float(value))] += 1
+        moments[0] += 1
+        moments[1] += float(value)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data view of every metric, with sorted names.
+
+        The shape embeds directly in ``heartbeat`` payloads::
+
+            {"counters": {...}, "gauges": {...},
+             "histograms": {name: {"bounds": [...], "counts": [...],
+                                   "count": n, "sum": s}}}
+        """
+        histograms = {}
+        for name in sorted(self._histograms):
+            bound_tuple, counts, moments = self._histograms[name]
+            histograms[name] = {
+                "bounds": list(bound_tuple),
+                "counts": list(counts),
+                "count": int(moments[0]),
+                "sum": moments[1],
+            }
+        return {
+            "counters": {k: self._counters[k]
+                         for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "histograms": histograms,
+        }

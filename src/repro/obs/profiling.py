@@ -1,0 +1,65 @@
+"""Shared cProfile wiring for every profiling entry point.
+
+``repro stream run --profile`` and ``benchmarks/profile_hotspots.py``
+used to each carry their own enable/disable/dump boilerplate; both now
+route through :func:`profiled`, a context manager that runs its block
+under :mod:`cProfile`, optionally prints the top cumulative rows and
+optionally dumps a ``.pstats`` file for ``snakeviz``/:mod:`pstats`.
+
+Profiling complements spans: spans time *phases* with near-zero
+overhead and land in the telemetry stream; the profiler attributes a
+phase's cost to *functions* at real (2x-ish) overhead and stays local.
+Use ``repro obs report`` first, the profiler on the phase it names.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional, TextIO, Union
+
+from repro.errors import ObsError
+
+__all__ = ["profiled"]
+
+
+@contextmanager
+def profiled(*, out: Union[str, Path, None] = None, top: int = 0,
+             stream: Optional[TextIO] = None,
+             sort: str = "cumulative") -> Iterator[cProfile.Profile]:
+    """Run the enclosed block under cProfile.
+
+    Args:
+        out: dump raw stats to this ``.pstats`` path (``None`` skips).
+        top: print this many top rows after the block (``0`` prints
+            nothing).
+        stream: destination of the printed rows (default stdout).
+        sort: pstats sort key for the printed rows.
+
+    Yields:
+        The active profiler (rarely needed by callers).
+
+    Raises:
+        ObsError: when ``out`` cannot be written.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(
+        profiler, stream=stream if stream is not None else sys.stdout
+    )
+    if top > 0:
+        stats.sort_stats(sort).print_stats(top)
+    if out is not None:
+        try:
+            stats.dump_stats(str(out))
+        except OSError as exc:
+            raise ObsError(
+                f"cannot write profile file {str(out)!r}: {exc}"
+            )

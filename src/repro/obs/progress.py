@@ -1,0 +1,85 @@
+"""The ``--progress`` stderr ticker: one self-overwriting status line.
+
+The ticker renders at most once per ``min_interval_s`` (monotonic
+clock, quarantined here with the rest of :mod:`repro.obs`), writes a
+carriage-return-prefixed line padded to erase the previous one, and
+finishes with a newline on :meth:`ProgressTicker.close` so the next
+shell prompt starts clean.  It writes to stderr by default — stdout
+stays reserved for report output, so ``--progress`` composes with
+``--json > file``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+__all__ = ["ProgressTicker", "render_progress"]
+
+
+def render_progress(label: str, done: int, total: int, *,
+                    rate: float = 0.0, unit: str = "items/s") -> str:
+    """Render one progress line (no carriage return, no padding).
+
+    Args:
+        label: short phase label (``"campaign"``, ``"stream"``...).
+        done: completed work units.
+        total: planned work units (``0`` renders without a percentage).
+        rate: work units per second, shown when positive.
+        unit: label for ``rate``.
+    """
+    if total > 0:
+        percent = 100.0 * done / total
+        text = f"[{label}] {done}/{total} ({percent:.1f}%)"
+    else:
+        text = f"[{label}] {done}"
+    if rate > 0.0:
+        text += f" {rate:,.0f} {unit}"
+    return text
+
+
+class ProgressTicker:
+    """Throttled single-line progress renderer.
+
+    Args:
+        stream: output stream (default ``sys.stderr``).
+        min_interval_s: minimum seconds between repaints; updates
+            arriving faster are dropped (the final :meth:`update` with
+            ``force=True`` always paints).
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None, *,
+                 min_interval_s: float = 0.2) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._min_interval_s = min_interval_s
+        self._last_paint: Optional[float] = None
+        self._last_width = 0
+        self._dirty = False
+
+    def update(self, text: str, *, force: bool = False) -> bool:
+        """Paint ``text`` if the throttle allows; True when painted."""
+        now = time.monotonic()
+        if (not force and self._last_paint is not None
+                and now - self._last_paint < self._min_interval_s):
+            return False
+        self._last_paint = now
+        padded = text.ljust(self._last_width)
+        self._last_width = len(text)
+        try:
+            self._stream.write("\r" + padded)
+            self._stream.flush()
+        except (OSError, ValueError):
+            return False  # closed/broken stream: progress is best-effort
+        self._dirty = True
+        return True
+
+    def close(self) -> None:
+        """Terminate the status line with a newline; idempotent."""
+        if self._dirty:
+            self._dirty = False
+            try:
+                self._stream.write("\n")
+                self._stream.flush()
+            except (OSError, ValueError):
+                pass

@@ -1,0 +1,277 @@
+"""Read-side telemetry analysis: span trees, hotspots, run summaries.
+
+``repro obs report`` renders a telemetry file through two stages:
+
+* :func:`summarize` folds parsed events (any number of appended
+  sessions) into one plain-data summary with a stable
+  ``repro-obs-report/v1`` shape — event counts, paired run durations,
+  the span tree aggregated by path, self-time hotspots, worker errors
+  and the last heartbeat snapshot;
+* :func:`render_report` turns that summary into the human-readable
+  text the CLI prints (the span tree indented by nesting, hotspots
+  ranked by self time).
+
+Everything here is a pure function of the event list — no clock, no
+filesystem — so the module stays inside the determinism contract even
+though it lives off the runners' execution path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["OBS_REPORT_SCHEMA", "build_spans", "render_report", "summarize"]
+
+#: Schema tag of the ``repro obs report --json`` payload.
+OBS_REPORT_SCHEMA = "repro-obs-report/v1"
+
+
+class SpanNode:
+    """One reconstructed span: name, duration, children.
+
+    Attributes:
+        name: the span's phase label.
+        dur_ms: measured duration; ``None`` when the span never closed
+            (the writer was killed inside it).
+        children: nested spans in open order.
+        error: the ``span_end`` error payload, if the span failed.
+    """
+
+    __slots__ = ("name", "dur_ms", "children", "error")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.dur_ms: Optional[float] = None
+        self.children: List["SpanNode"] = []
+        self.error: Optional[str] = None
+
+
+def build_spans(events: List[Dict[str, Any]]) -> List[SpanNode]:
+    """Rebuild the span forest from ``span_start``/``span_end`` events.
+
+    Span ids restart at every session header, so the forest is built
+    per session and concatenated in file order.  Unmatched starts stay
+    in the tree with ``dur_ms=None``; unmatched ends are dropped.
+    """
+    forest: List[SpanNode] = []
+    open_nodes: Dict[int, SpanNode] = {}
+    for event in events:
+        etype = event.get("type")
+        data = event.get("data", {})
+        if etype == "telemetry_start":
+            open_nodes = {}
+            continue
+        if etype == "span_start":
+            node = SpanNode(str(data.get("name", "?")))
+            parent = data.get("parent")
+            if parent is not None and parent in open_nodes:
+                open_nodes[parent].children.append(node)
+            else:
+                forest.append(node)
+            if isinstance(data.get("span"), int):
+                open_nodes[data["span"]] = node
+        elif etype == "span_end":
+            node = open_nodes.pop(data.get("span"), None)
+            if node is not None:
+                dur = data.get("dur_ms")
+                node.dur_ms = float(dur) if isinstance(
+                    dur, (int, float)) else None
+                if "error" in data:
+                    node.error = str(data["error"])
+    return forest
+
+
+def _fold_tree(forest: List[SpanNode]
+               ) -> List[Tuple[Tuple[str, ...], int, float, float, int]]:
+    """Aggregate the forest by path: (path, count, total, max, open)."""
+    table: Dict[Tuple[str, ...], List[float]] = {}
+    order: List[Tuple[str, ...]] = []
+
+    def visit(node: SpanNode, prefix: Tuple[str, ...]) -> None:
+        path = prefix + (node.name,)
+        row = table.get(path)
+        if row is None:
+            row = [0, 0.0, 0.0, 0]  # count, total, max, still-open
+            table[path] = row
+            order.append(path)
+        if node.dur_ms is None:
+            row[3] += 1
+        else:
+            row[0] += 1
+            row[1] += node.dur_ms
+            row[2] = max(row[2], node.dur_ms)
+        for child in node.children:
+            visit(child, path)
+
+    for node in forest:
+        visit(node, ())
+    return [(path, int(table[path][0]), table[path][1], table[path][2],
+             int(table[path][3])) for path in order]
+
+
+def _hotspots(forest: List[SpanNode]) -> List[Dict[str, Any]]:
+    """Per-name self time (total minus closed children), sorted desc."""
+    self_ms: Dict[str, float] = {}
+    total_ms: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+
+    def visit(node: SpanNode) -> None:
+        if node.dur_ms is not None:
+            child_ms = sum(c.dur_ms for c in node.children
+                           if c.dur_ms is not None)
+            self_ms[node.name] = self_ms.get(node.name, 0.0) + max(
+                0.0, node.dur_ms - child_ms)
+            total_ms[node.name] = total_ms.get(node.name, 0.0) + node.dur_ms
+            counts[node.name] = counts.get(node.name, 0) + 1
+        for child in node.children:
+            visit(child)
+
+    for node in forest:
+        visit(node)
+    names = sorted(self_ms, key=lambda n: (-self_ms[n], n))
+    return [
+        {"name": name, "self_ms": round(self_ms[name], 3),
+         "total_ms": round(total_ms[name], 3), "count": counts[name]}
+        for name in names
+    ]
+
+
+def _paired_runs(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Pair ``run_start``/``run_end`` events into run summary rows."""
+    open_runs: List[Dict[str, Any]] = []
+    runs: List[Dict[str, Any]] = []
+
+    def close_open() -> None:
+        # runs still open when their session ends were killed mid-run
+        for row in open_runs:
+            row.pop("t_ms", None)
+            row["dur_ms"] = None
+        del open_runs[:]
+
+    for event in events:
+        etype = event.get("type")
+        data = event.get("data", {})
+        if etype == "telemetry_start":
+            close_open()
+        elif etype == "run_start":
+            open_runs.append({
+                "kind": data.get("kind"),
+                "label": data.get("label"),
+                "t_ms": event.get("t_ms", 0.0),
+            })
+            runs.append(open_runs[-1])
+        elif etype == "run_end" and open_runs:
+            # match the innermost open run of the same kind (runs nest:
+            # platform wraps its devices' streams)
+            index = len(open_runs) - 1
+            while index > 0 and open_runs[index]["kind"] != data.get("kind"):
+                index -= 1
+            row = open_runs.pop(index)
+            row["dur_ms"] = round(
+                float(event.get("t_ms", 0.0)) - float(row.pop("t_ms")), 3
+            )
+            if "digest" in data:
+                row["digest"] = data["digest"]
+    close_open()
+    return runs
+
+
+def summarize(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold parsed telemetry events into the ``repro-obs-report/v1`` dict.
+
+    Args:
+        events: parsed events in file order
+            (:func:`repro.obs.sink.read_telemetry`).
+    """
+    counts: Dict[str, int] = {}
+    errors: List[Dict[str, Any]] = []
+    last_heartbeat: Optional[Dict[str, Any]] = None
+    sessions = 0
+    for event in events:
+        etype = str(event.get("type"))
+        counts[etype] = counts.get(etype, 0) + 1
+        if etype == "telemetry_start":
+            sessions += 1
+        elif etype == "worker_error":
+            errors.append(event.get("data", {}))
+        elif etype == "heartbeat":
+            last_heartbeat = event.get("data", {})
+    forest = build_spans(events)
+    spans = [
+        {"path": "/".join(path), "depth": len(path) - 1, "count": count,
+         "total_ms": round(total, 3), "max_ms": round(peak, 3),
+         "open": open_count}
+        for path, count, total, peak, open_count in _fold_tree(forest)
+    ]
+    return {
+        "schema": OBS_REPORT_SCHEMA,
+        "sessions": sessions,
+        "events": {name: counts[name] for name in sorted(counts)},
+        "runs": _paired_runs(events),
+        "spans": spans,
+        "hotspots": _hotspots(forest),
+        "errors": errors,
+        "last_heartbeat": last_heartbeat,
+    }
+
+
+def render_report(summary: Dict[str, Any], *, top: int = 10) -> str:
+    """Human-readable rendering of a :func:`summarize` payload.
+
+    Args:
+        summary: the ``repro-obs-report/v1`` dict.
+        top: hotspot rows to print.
+    """
+    lines: List[str] = []
+    total_events = sum(summary["events"].values())
+    lines.append(
+        f"Telemetry report — {summary['sessions']} session(s), "
+        f"{total_events} event(s)"
+    )
+    lines.append("events: " + " ".join(
+        f"{name}={count}" for name, count in summary["events"].items()
+    ))
+    if summary["runs"]:
+        lines.append("runs:")
+        for run in summary["runs"]:
+            dur = (f"{run['dur_ms']:.1f} ms" if run.get("dur_ms") is not None
+                   else "(unfinished)")
+            digest = run.get("digest")
+            suffix = f"  digest={digest}" if digest else ""
+            lines.append(
+                f"  {run.get('kind', '?'):<10} "
+                f"{str(run.get('label', '?')):<28} {dur:>12}{suffix}"
+            )
+    if summary["spans"]:
+        lines.append("span tree (summed over sessions):")
+        for row in summary["spans"]:
+            name = row["path"].rsplit("/", 1)[-1]
+            indent = "  " * (row["depth"] + 1)
+            note = f" ({row['open']} unclosed)" if row["open"] else ""
+            lines.append(
+                f"{indent}{name:<24} {row['total_ms']:>12.1f} ms "
+                f"x{row['count']}{note}"
+            )
+    hotspots = summary["hotspots"][:max(0, top)]
+    if hotspots:
+        lines.append(f"hotspots (self time, top {len(hotspots)}):")
+        for row in hotspots:
+            lines.append(
+                f"  {row['name']:<24} {row['self_ms']:>12.1f} ms "
+                f"(total {row['total_ms']:.1f} ms, x{row['count']})"
+            )
+    if summary["errors"]:
+        lines.append(f"worker errors ({len(summary['errors'])}):")
+        for data in summary["errors"]:
+            lines.append(f"  {data}")
+    beat = summary.get("last_heartbeat")
+    if beat:
+        counters = beat.get("metrics", {}).get("counters", {})
+        rendered = " ".join(
+            f"{name}={counters[name]:g}" for name in counters
+        )
+        lines.append(
+            f"last heartbeat: {beat.get('done')}/{beat.get('total')}"
+            + (f" — {rendered}" if rendered else "")
+        )
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Tracing spans: nested wall-clock phase timers as telemetry events.
+
+A span brackets one phase of a run (``plan``, ``execute``, ``fold``,
+…) with a ``span_start``/``span_end`` event pair.  Spans nest: the
+tracer keeps an open-span stack, so each ``span_start`` carries its
+parent's span id and the reader can rebuild the trace tree
+(:func:`repro.obs.report.build_spans`).  Durations are monotonic-clock
+milliseconds measured here — wall time never leaves :mod:`repro.obs`.
+
+When the owning telemetry session is disabled, :meth:`Tracer.span`
+returns a shared no-op context manager: no allocation, no clock read,
+no event — the only cost on the disabled path is one ``enabled`` check.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+class _NullSpan:
+    """Shared no-op context manager for disabled tracers."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One open span; a context manager emitting its own end event.
+
+    Attributes:
+        name: phase label (e.g. ``"execute"``).
+        span_id: session-unique integer id.
+        parent: id of the enclosing span, ``None`` at the root.
+    """
+
+    __slots__ = ("_tracer", "name", "span_id", "parent", "_start_ms")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent: Optional[int], start_ms: float) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent = parent
+        self._start_ms = start_ms
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._end(self, error=exc)
+        return False
+
+
+class Tracer:
+    """Allocates span ids, tracks nesting, emits the span event pair.
+
+    The tracer is owned by one :class:`~repro.obs.session.Telemetry`;
+    it is handed the session's emit callable and millisecond clock so
+    spans share the session's sequence numbers and epoch.
+
+    Args:
+        emit: callable ``emit(type, **data)`` writing one event.
+        now_ms: session clock, milliseconds since the session epoch.
+        enabled: when ``False``, :meth:`span` is a shared no-op.
+    """
+
+    def __init__(self, emit: Callable[..., None],
+                 now_ms: Callable[[], float], *,
+                 enabled: bool = True) -> None:
+        self._emit = emit
+        self._now_ms = now_ms
+        self.enabled = enabled
+        self._next_id = 0
+        self._stack: List[int] = []
+
+    def span(self, name: str, **data: object):
+        """Open a span named ``name``; use as a context manager.
+
+        Extra keyword arguments land in the ``span_start`` payload
+        (e.g. ``tracer.span("execute", shards=12)``).
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        start_ms = self._now_ms()
+        self._emit("span_start", span=span_id, parent=parent, name=name,
+                   **data)
+        self._stack.append(span_id)
+        return Span(self, name, span_id, parent, start_ms)
+
+    def _end(self, span: Span, *, error: Optional[BaseException]) -> None:
+        """Close ``span``: pop the stack, emit ``span_end``."""
+        # tolerate out-of-order exits (an inner span leaked open): pop
+        # back to this span so nesting stays consistent for the reader
+        while self._stack and self._stack[-1] != span.span_id:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        data = {
+            "span": span.span_id,
+            "name": span.name,
+            "dur_ms": self._now_ms() - span._start_ms,
+        }
+        if error is not None:
+            data["error"] = repr(error)
+        self._emit("span_end", **data)

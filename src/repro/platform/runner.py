@@ -29,12 +29,13 @@ at 8-device scale by ``benchmarks/bench_platform.py``).
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api.platform import PlatformSpec
 from repro.api.stream import StreamSpec
 from repro.errors import WorkerCountError
 from repro.iso26262.asil import Asil, as_asil
+from repro.obs.session import NULL_TELEMETRY, Telemetry
 from repro.platform.placement import PlatformPlan, bind_task, plan_placement
 from repro.platform.report import PlatformReport, task_verdict
 from repro.streams.report import StreamReport
@@ -46,20 +47,27 @@ __all__ = ["run_platform"]
 _DeviceItem = Tuple[str, List[Tuple[str, str, float]], bool]
 
 
-def _run_device(item: _DeviceItem) -> List[Dict[str, Any]]:
-    """Process-pool entry point: run one device's task streams."""
+def _run_device(item: _DeviceItem,
+                telemetry: Optional[Telemetry] = None) -> List[Dict[str, Any]]:
+    """Process-pool entry point: run one device's task streams.
+
+    ``telemetry`` is only threaded through on the in-process path —
+    sinks are not picklable, so pooled devices run uninstrumented and
+    the orchestrator emits their lifecycle events instead.
+    """
     _, tasks, validate = item
     reports = []
     for _, spec_json, protocol_ms in tasks:
         spec = StreamSpec.from_json(spec_json)
         report = run_stream(spec, service_offset_ms=protocol_ms,
-                            validate=validate)
+                            validate=validate, telemetry=telemetry)
         reports.append(report.to_dict())
     return reports
 
 
 def run_platform(spec: PlatformSpec, *, workers: int = 1,
-                 validate: bool = True) -> PlatformReport:
+                 validate: bool = True,
+                 telemetry: Optional[Telemetry] = None) -> PlatformReport:
     """Execute one vehicle platform and fold its rollup report.
 
     Args:
@@ -68,6 +76,9 @@ def run_platform(spec: PlatformSpec, *, workers: int = 1,
             per device; ``1`` executes in-process); never changes the
             report.
         validate: forward the simulator's trace-validation switch.
+        telemetry: optional :class:`~repro.obs.session.Telemetry`
+            session receiving placement/execute/fold spans and
+            per-device lifecycle events; never changes the report.
 
     Returns:
         The aggregate :class:`~repro.platform.report.PlatformReport` —
@@ -81,34 +92,82 @@ def run_platform(spec: PlatformSpec, *, workers: int = 1,
     """
     if workers < 1:
         raise WorkerCountError("workers must be >= 1")
-    plan = plan_placement(spec, validate=validate)
+    tm = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tm.span("placement"):
+        plan = plan_placement(spec, validate=validate)
 
-    by_label = {task.label: task for task in spec.tasks}
-    per_device: Dict[str, List[Tuple[str, str, float]]] = {}
-    for label, device_name in plan.assignments:
-        bound = bind_task(by_label[label], spec.device(device_name))
-        per_device.setdefault(device_name, []).append(
-            (label, bound.to_json(), plan.demands[label].protocol_ms)
-        )
+        by_label = {task.label: task for task in spec.tasks}
+        per_device: Dict[str, List[Tuple[str, str, float]]] = {}
+        for label, device_name in plan.assignments:
+            bound = bind_task(by_label[label], spec.device(device_name))
+            per_device.setdefault(device_name, []).append(
+                (label, bound.to_json(), plan.demands[label].protocol_ms)
+            )
 
-    # canonical device order (declaration order) for the execution fold
-    items: List[_DeviceItem] = [
-        (d.name, per_device[d.name], validate)
-        for d in spec.devices if d.name in per_device
-    ]
-    if workers == 1 or len(items) <= 1:
-        results = [_run_device(item) for item in items]
-    else:
-        pool_size = min(workers, len(items))
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            results = list(pool.map(_run_device, items))
+        # canonical device order (declaration order) for the execution fold
+        items: List[_DeviceItem] = [
+            (d.name, per_device[d.name], validate)
+            for d in spec.devices if d.name in per_device
+        ]
+    tm.emit("run_start", kind="platform", label=spec.label,
+            spec_hash=spec.config_hash, devices=len(items),
+            tasks=len(plan.assignments), workers=workers)
+
+    def _observe_device(name: str, payloads: List[Dict[str, Any]],
+                        done_count: int) -> None:
+        # orchestrator-side lifecycle accounting (pool-path safe)
+        tm.metrics.add("devices")
+        tm.emit("device_end", device=name, tasks=len(payloads),
+                completed=sum(p["completed"] for p in payloads),
+                dropped=sum(p["dropped"] for p in payloads))
+        tm.beat("platform", done_count, len(items),
+                rate_counter="devices", unit="devices/s")
+
+    with tm.span("execute", devices=len(items), workers=workers):
+        results = []
+        if workers == 1 or len(items) <= 1:
+            for item in items:
+                tm.emit("device_start", device=item[0], tasks=len(item[1]),
+                        pooled=False)
+                with tm.span("device", device=item[0]):
+                    payloads = _run_device(
+                        item, telemetry=tm if tm.enabled else None
+                    )
+                results.append(payloads)
+                if tm.enabled:
+                    _observe_device(item[0], payloads, len(results))
+        else:
+            pool_size = min(workers, len(items))
+            if tm.enabled:
+                tm.metrics.set_gauge(
+                    "pool_utilisation", len(items) / pool_size
+                )
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                for item in items:
+                    tm.emit("device_start", device=item[0],
+                            tasks=len(item[1]), pooled=True)
+                # pool.map yields in submission order as devices finish,
+                # so device_end events land while later devices still run
+                for item, payloads in zip(items, pool.map(_run_device,
+                                                          items)):
+                    results.append(payloads)
+                    if tm.enabled:
+                        _observe_device(item[0], payloads, len(results))
 
     reports: Dict[str, StreamReport] = {}
     for (_, tasks, _), payloads in zip(items, results):
         for (label, _, _), payload in zip(tasks, payloads):
             reports[label] = StreamReport.from_dict(payload)
 
-    return _fold(spec, plan, reports)
+    with tm.span("fold"):
+        report = _fold(spec, plan, reports)
+    if tm.enabled:
+        tm.beat("platform", len(results), len(items),
+                rate_counter="devices", unit="devices/s", force=True)
+        tm.emit("run_end", kind="platform", digest=report.digest(),
+                verdict=report.asil["verdict"],
+                worst_asil=report.asil["worst_asil"])
+    return report
 
 
 # ----------------------------------------------------------------------

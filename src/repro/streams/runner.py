@@ -43,6 +43,7 @@ from repro.api.stats import RepeatSpec
 from repro.api.stream import StreamSpec
 from repro.errors import StatsError, StreamError
 from repro.faults.outcomes import FaultOutcome
+from repro.obs.session import NULL_TELEMETRY, Telemetry
 from repro.stats.intervals import RateEstimate
 from repro.stats.repeater import (
     STOP_BUDGET,
@@ -76,6 +77,24 @@ DEFAULT_CHUNK_FRAMES = 65536
 #: SHA-256 + Mersenne Twister reseeds it would parallelise.
 _PREDRAW_MIN_FRAMES = 16384
 
+#: Frame-window size used when telemetry is enabled: arrival batches are
+#: mechanically re-chunked to this size so ``frame_window`` events and
+#: heartbeats land at a useful cadence on long soaks.  Chunking never
+#: changes the report (see the module docstring), so telemetry stays
+#: digest-neutral.
+_TELEMETRY_WINDOW_FRAMES = 8192
+
+
+def _rebatched(source: Iterable[List[float]],
+               size: int) -> Iterator[List[float]]:
+    """Re-chunk arrival batches into windows of at most ``size`` frames."""
+    for batch in source:
+        if len(batch) <= size:
+            yield batch
+            continue
+        for lo in range(0, len(batch), size):
+            yield batch[lo:lo + size]
+
 
 def _fault_uniform_chunk(seed: int, lo: int, hi: int) -> List[float]:
     """First fault-substream uniform of frames ``[lo, hi)`` — pool-safe.
@@ -103,7 +122,8 @@ def _arrival_batches(spec: StreamSpec,
 def run_stream(spec: StreamSpec, *, workers: int = 1,
                chunk_frames: int = DEFAULT_CHUNK_FRAMES,
                service_offset_ms: float = 0.0,
-               validate: bool = True) -> StreamReport:
+               validate: bool = True,
+               telemetry: Optional[Telemetry] = None) -> StreamReport:
     """Execute one open-loop frame stream and fold its online report.
 
     Args:
@@ -121,6 +141,9 @@ def run_stream(spec: StreamSpec, *, workers: int = 1,
             protocol overhead; the ``0.0`` default leaves single-stream
             reports untouched.
         validate: forward the simulator's trace-validation switch.
+        telemetry: optional :class:`~repro.obs.session.Telemetry`
+            session receiving lifecycle events, spans, ``frame_window``
+            summaries and heartbeats; never changes the report.
 
     Returns:
         The aggregate :class:`~repro.streams.report.StreamReport` —
@@ -135,8 +158,12 @@ def run_stream(spec: StreamSpec, *, workers: int = 1,
         raise StreamError("chunk_frames must be >= 1")
     if service_offset_ms < 0:
         raise StreamError("service_offset_ms cannot be negative")
-    profiles = resolve_jobs(spec, workers=workers, validate=validate)
+    tm = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tm.span("resolve_jobs", workers=workers):
+        profiles = resolve_jobs(spec, workers=workers, validate=validate)
     policy = profiles[0].run.sim.scheduler_name
+    tm.emit("run_start", kind="stream", label=spec.label,
+            spec_hash=spec.config_hash, frames=spec.frames, policy=policy)
     deadline = spec.effective_deadline_ms
     faults = spec.faults if (
         spec.faults is not None and spec.faults.probability > 0.0
@@ -222,12 +249,24 @@ def run_stream(spec: StreamSpec, *, workers: int = 1,
     else:
         arrival_source = _arrival_batches(spec, chunk_frames)
 
+    if tm.enabled:
+        # smaller mechanical windows so frame_window events and
+        # heartbeats land at a useful cadence on long soaks
+        arrival_source = _rebatched(
+            arrival_source, min(chunk_frames, _TELEMETRY_WINDOW_FRAMES)
+        )
+
     observe = acc.observe
     popleft = in_system.popleft
     enqueue = in_system.append
     frame = 0
     slot = 0
+    frame_span = tm.span("frame_loop", frames=spec.frames)
+    frame_span.__enter__()
     for batch in arrival_source:
+        window_start = frame
+        w_completed, w_dropped = completed, dropped
+        w_misses, w_injected = deadline_misses, injected
         for arrival in batch:
             last_arrival = arrival
             while in_system and in_system[0] <= arrival:
@@ -268,13 +307,29 @@ def run_stream(spec: StreamSpec, *, workers: int = 1,
             slot += 1
             if slot == n_jobs:
                 slot = 0
+        if tm.enabled:
+            tm.metrics.add("frames", frame - window_start)
+            tm.metrics.set_gauge("queue_depth", len(in_system))
+            tm.metrics.observe("window_drops", dropped - w_dropped)
+            tm.emit("frame_window", start=window_start, stop=frame,
+                    completed=completed - w_completed,
+                    dropped=dropped - w_dropped,
+                    deadline_misses=deadline_misses - w_misses,
+                    faults_injected=injected - w_injected)
+            tm.beat("stream", frame, spec.frames,
+                    rate_counter="frames", unit="frames/s")
+    frame_span.__exit__(None, None, None)
+    if tm.enabled:
+        tm.beat("stream", frame, spec.frames,
+                rate_counter="frames", unit="frames/s", force=True)
 
     elapsed = max(last_arrival, last_completion)
-    latency_dict = acc.latency_summary()
-    if completed:
-        for estimator in acc.estimators:
-            latency_dict[quantile_key(estimator.q)] = estimator.value
-    return StreamReport(
+    with tm.span("fold"):
+        latency_dict = acc.latency_summary()
+        if completed:
+            for estimator in acc.estimators:
+                latency_dict[quantile_key(estimator.q)] = estimator.value
+    report = StreamReport(
         label=spec.label,
         policy=policy,
         spec_hash=spec.config_hash,
@@ -297,6 +352,11 @@ def run_stream(spec: StreamSpec, *, workers: int = 1,
         utilisation=min(1.0, service_sum / elapsed) if elapsed else 0.0,
         windows=acc.windows.summary(),
     )
+    if tm.enabled:
+        tm.emit("run_end", kind="stream", digest=report.digest(),
+                completed=report.completed, dropped=report.dropped,
+                elapsed_ms=report.elapsed_ms)
+    return report
 
 
 def _service_table(profiles: List[JobProfile]) -> Dict[str, float]:
@@ -324,7 +384,8 @@ def _repeat_lengths(repeat: RepeatSpec) -> Iterator[int]:
 def repeat_stream(spec: StreamSpec, repeat: RepeatSpec, *,
                   workers: int = 1,
                   chunk_frames: int = DEFAULT_CHUNK_FRAMES,
-                  validate: bool = True) -> RepeatResult:
+                  validate: bool = True,
+                  telemetry: Optional[Telemetry] = None) -> RepeatResult:
     """Extend a stream soak until the CI target on a rate metric is met.
 
     The stream counterpart of
@@ -353,6 +414,9 @@ def repeat_stream(spec: StreamSpec, repeat: RepeatSpec, *,
         chunk_frames: forwarded to :func:`run_stream` (never changes the
             result).
         validate: forward the simulator's trace-validation switch.
+        telemetry: optional :class:`~repro.obs.session.Telemetry`
+            session; each evaluation point runs as its own
+            instrumented stream under a ``batch`` span.
 
     Returns:
         A :class:`~repro.stats.repeater.RepeatResult` whose ``report``
@@ -371,6 +435,10 @@ def repeat_stream(spec: StreamSpec, repeat: RepeatSpec, *,
             f"unknown stream repeat metric {repeat.metric!r}; known: "
             + ", ".join(STREAM_RATE_METRICS)
         )
+    tm = telemetry if telemetry is not None else NULL_TELEMETRY
+    tm.emit("run_start", kind="stream-repeat", label=spec.label,
+            spec_hash=spec.config_hash, metric=repeat.metric,
+            budget=repeat.max_total)
     history: List[RateEstimate] = []
     report: Optional[StreamReport] = None
     batches = 0
@@ -378,10 +446,12 @@ def repeat_stream(spec: StreamSpec, repeat: RepeatSpec, *,
     last_stats_error: Optional[StatsError] = None
     for frames in _repeat_lengths(repeat):
         batches += 1
-        report = run_stream(
-            dataclasses.replace(spec, frames=frames),
-            workers=workers, chunk_frames=chunk_frames, validate=validate,
-        )
+        with tm.span("batch", frames=frames):
+            report = run_stream(
+                dataclasses.replace(spec, frames=frames),
+                workers=workers, chunk_frames=chunk_frames,
+                validate=validate, telemetry=tm,
+            )
         try:
             estimate = report.rate_interval(
                 repeat.metric, confidence=repeat.confidence,
@@ -413,6 +483,8 @@ def repeat_stream(spec: StreamSpec, repeat: RepeatSpec, *,
             f"{repeat.metric!r} interval at {estimate.describe()} — "
             f"target {target} not met"
         )
+    tm.emit("run_end", kind="stream-repeat", converged=converged,
+            batches=batches, total=report.frames)
     return RepeatResult(
         metric=repeat.metric,
         converged=converged,

@@ -145,3 +145,45 @@ class TestAcceptanceDemo:
         assert anchor.replace(os.sep, "/") in rl002[0].render().replace(
             os.sep, "/"
         )
+
+    def test_smuggled_wall_clock_also_fails_with_shipped_config(self, tmp_path):
+        # the same demo through the shipped repro-lint.toml: quarantining
+        # repro.obs must not have opened a hole anywhere else
+        target = tmp_path / "src" / "repro" / "platform"
+        target.mkdir(parents=True)
+        original = (REPO_ROOT / "src/repro/platform/report.py").read_text()
+        (target / "report.py").write_text(
+            "import time\n" + original + "\n_SMUGGLED = time.time()\n"
+        )
+        code = main(["lint", "--config",
+                     str(REPO_ROOT / "repro-lint.toml"),
+                     str(target / "report.py")])
+        assert code == 1
+
+    def test_wall_clock_inside_obs_quarantine_passes(self, tmp_path):
+        # the telemetry plane is the one sanctioned wall-clock user:
+        # identical code passes under src/repro/obs/ and fails anywhere
+        # else in the tree
+        source = (
+            '"""Heartbeat pacing."""\n'
+            "import time\n\n\n"
+            "def now_ms():\n"
+            '    """Wall-clock milliseconds for heartbeat pacing."""\n'
+            "    return time.monotonic() * 1000.0\n"
+        )
+        quarantined = tmp_path / "src" / "repro" / "obs"
+        quarantined.mkdir(parents=True)
+        (quarantined / "session.py").write_text(source)
+        report = run_lint([quarantined / "session.py"],
+                          config=LintConfig.default())
+        assert not report.violations, [
+            v.render() for v in report.violations
+        ]
+
+        elsewhere = tmp_path / "src" / "repro" / "streams"
+        elsewhere.mkdir(parents=True)
+        (elsewhere / "pacing.py").write_text(source)
+        report = run_lint([elsewhere / "pacing.py"],
+                          config=LintConfig.default())
+        rl002 = [v for v in report.violations if v.rule == "RL002"]
+        assert rl002, [v.render() for v in report.violations]

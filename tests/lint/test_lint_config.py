@@ -45,6 +45,17 @@ class TestParseConfig:
         assert not config.applies("RL003", "src/repro/cli.py")
         assert config.applies("RL003", "src/repro/platform/report.py")
 
+    def test_default_rl002_scope_quarantines_only_obs(self):
+        # the wall-clock rule skips the telemetry plane and nothing else
+        config = LintConfig.default()
+        assert not config.applies("RL002", "src/repro/obs/session.py")
+        assert not config.applies("RL002", "src/repro/obs/progress.py")
+        assert config.applies("RL002", "src/repro/streams/runner.py")
+        assert config.applies("RL002", "src/repro/platform/report.py")
+        assert config.applies("RL002", "src/repro/cli.py")
+        # a look-alike path outside the package tree stays in scope
+        assert config.applies("RL002", "src/repro/observability.py")
+
     @pytest.mark.parametrize("text, fragment", [
         ("[tool.other]\n", "unknown section"),
         ("include = []\n", r"outside a \[rule\.RLnnn\] section"),

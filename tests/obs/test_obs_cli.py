@@ -1,0 +1,198 @@
+"""The obs CLI (validate/report), run-command telemetry flags, profiled()."""
+
+from __future__ import annotations
+
+import io
+import json
+import pstats
+
+import pytest
+
+from repro.api import (
+    CampaignSpec,
+    DeviceSpec,
+    FaultPlanSpec,
+    PlacementSpec,
+    PlatformSpec,
+    RunSpec,
+    StreamSpec,
+    WorkloadSpec,
+)
+from repro.cli import main
+from repro.errors import ObsError
+from repro.obs import profiled, read_telemetry, validate_events
+
+
+@pytest.fixture
+def telemetry_file(tmp_path):
+    """A schema-valid two-event telemetry file."""
+    path = tmp_path / "t.jsonl"
+    header = {"type": "telemetry_start", "seq": 0, "t_ms": 0.0,
+              "data": {"schema": "repro-telemetry/v1", "version": "x"}}
+    end = {"type": "telemetry_end", "seq": 1, "t_ms": 1.0,
+           "data": {"events": 2}}
+    path.write_text(json.dumps(header) + "\n" + json.dumps(end) + "\n")
+    return path
+
+
+class TestObsValidate:
+    def test_valid_file_exits_zero(self, capsys, telemetry_file):
+        assert main(["obs", "validate", str(telemetry_file)]) == 0
+        assert "2 event(s) OK (repro-telemetry/v1)" in capsys.readouterr().out
+
+    def test_schema_violations_exit_one(self, capsys, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "warp_drive", "seq": 0, "t_ms": 0.0, '
+                        '"data": {}}\n')
+        assert main(["obs", "validate", str(path)]) == 1
+        assert "unknown event type" in capsys.readouterr().err
+
+    def test_unreadable_file_exits_two(self, capsys, tmp_path):
+        assert main(["obs", "validate", str(tmp_path / "absent.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_mid_session_corruption_exits_two(self, capsys, telemetry_file):
+        lines = telemetry_file.read_text().splitlines()
+        telemetry_file.write_text(
+            lines[0] + "\nGARBAGE\n" + lines[1] + "\n"
+        )
+        assert main(["obs", "validate", str(telemetry_file)]) == 2
+        assert "corrupt telemetry line" in capsys.readouterr().err
+
+
+class TestObsReport:
+    def test_text_report(self, capsys, telemetry_file):
+        assert main(["obs", "report", str(telemetry_file)]) == 0
+        assert "Telemetry report — 1 session(s)" in capsys.readouterr().out
+
+    def test_json_report_carries_the_schema_tag(self, capsys,
+                                                telemetry_file):
+        assert main(["obs", "report", str(telemetry_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-obs-report/v1"
+        assert payload["sessions"] == 1
+
+    def test_unreadable_file_exits_two(self, tmp_path, capsys):
+        assert main(["obs", "report", str(tmp_path / "absent.jsonl")]) == 2
+        capsys.readouterr()
+
+
+def _check_file(path) -> list:
+    events = read_telemetry(path)
+    assert validate_events(events) == []
+    return events
+
+
+class TestRunCommandTelemetry:
+    def test_campaign_run_writes_a_valid_log(self, capsys, tmp_path):
+        spec = CampaignSpec(
+            run=RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                        policy="srrs"),
+            faults=FaultPlanSpec(transient_ccf=30, permanent_sm=10, seu=10,
+                                 seed=7),
+            shards=4,
+        )
+        spec_file = tmp_path / "campaign.json"
+        spec_file.write_text(spec.to_json())
+        log = tmp_path / "t.jsonl"
+        assert main(["campaign", "run", "--spec", str(spec_file),
+                     "--telemetry", str(log)]) == 0
+        capsys.readouterr()
+        events = _check_file(log)
+        types = {e["type"] for e in events}
+        assert {"telemetry_start", "run_start", "shard_start", "shard_end",
+                "heartbeat", "span_start", "span_end", "run_end",
+                "telemetry_end"} <= types
+        (run_end,) = [e for e in events if e["type"] == "run_end"]
+        assert run_end["data"]["kind"] == "campaign"
+        assert "digest" in run_end["data"]
+
+    def test_campaign_resume_appends_a_second_session(self, capsys,
+                                                      tmp_path):
+        spec = CampaignSpec(
+            run=RunSpec(workload=WorkloadSpec(benchmark="hotspot"),
+                        policy="srrs"),
+            faults=FaultPlanSpec(transient_ccf=30, permanent_sm=10, seu=10,
+                                 seed=7),
+            shards=4,
+        )
+        spec_file = tmp_path / "campaign.json"
+        spec_file.write_text(spec.to_json())
+        store = tmp_path / "store"
+        log = tmp_path / "t.jsonl"
+        assert main(["campaign", "run", "--spec", str(spec_file),
+                     "--dir", str(store), "--max-shards", "2",
+                     "--telemetry", str(log)]) == 0
+        assert main(["campaign", "resume", "--dir", str(store),
+                     "--telemetry", str(log)]) == 0
+        capsys.readouterr()
+        events = _check_file(log)
+        headers = [e for e in events if e["type"] == "telemetry_start"]
+        assert len(headers) == 2
+
+    def test_stream_run_writes_a_valid_log(self, capsys, tmp_path):
+        log = tmp_path / "t.jsonl"
+        assert main(["stream", "run", "--task", "camera-perception",
+                     "--frames", "300", "--telemetry", str(log)]) == 0
+        capsys.readouterr()
+        events = _check_file(log)
+        types = {e["type"] for e in events}
+        assert {"run_start", "frame_window", "heartbeat", "run_end"} <= types
+        (run_end,) = [e for e in events if e["type"] == "run_end"]
+        assert run_end["data"]["kind"] == "stream"
+
+    def test_platform_run_writes_a_valid_log(self, capsys, tmp_path):
+        spec = PlatformSpec(
+            devices=(DeviceSpec(name="gpu0"),
+                     DeviceSpec(name="gpu1", preset="pcie4-discrete")),
+            tasks=(StreamSpec.for_task("camera-perception", frames=150),
+                   StreamSpec.for_task("radar-cfar", frames=150)),
+            placement=PlacementSpec(policy="balanced"),
+        )
+        spec_file = tmp_path / "platform.json"
+        spec_file.write_text(spec.to_json())
+        log = tmp_path / "t.jsonl"
+        assert main(["platform", "run", "--spec", str(spec_file),
+                     "--telemetry", str(log)]) == 0
+        capsys.readouterr()
+        events = _check_file(log)
+        device_ends = [e for e in events if e["type"] == "device_end"]
+        assert {e["data"]["device"] for e in device_ends} == {"gpu0", "gpu1"}
+        # in-process devices run instrumented, so their stream run_end
+        # events nest inside the platform one
+        (run_end,) = [e for e in events if e["type"] == "run_end"
+                      and e["data"].get("kind") == "platform"]
+        assert "verdict" in run_end["data"]
+
+    def test_obs_report_renders_a_real_run_log(self, capsys, tmp_path):
+        log = tmp_path / "t.jsonl"
+        assert main(["stream", "run", "--task", "camera-perception",
+                     "--frames", "300", "--telemetry", str(log)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "frame_loop" in out
+
+    def test_stream_profile_routes_through_profiled(self, capsys, tmp_path):
+        stats_file = tmp_path / "out.pstats"
+        assert main(["stream", "run", "--task", "camera-perception",
+                     "--frames", "300", "--profile", str(stats_file)]) == 0
+        capsys.readouterr()
+        stats = pstats.Stats(str(stats_file))
+        assert stats.total_calls > 0
+
+
+class TestProfiled:
+    def test_prints_top_rows_and_dumps_stats(self, tmp_path):
+        out = tmp_path / "p.pstats"
+        text = io.StringIO()
+        with profiled(out=out, top=5, stream=text):
+            sum(range(1000))
+        assert out.is_file()
+        assert "cumulative" in text.getvalue()
+
+    def test_unwritable_out_raises_obs_error(self, tmp_path):
+        with pytest.raises(ObsError, match="cannot write profile file"):
+            with profiled(out=tmp_path / "no-dir" / "p.pstats"):
+                pass

@@ -1,0 +1,77 @@
+"""The O(1) metrics registry: counters, gauges, histograms, snapshot."""
+
+from __future__ import annotations
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounters:
+    def test_default_increment_is_one(self):
+        metrics = MetricsRegistry()
+        metrics.add("shards")
+        metrics.add("shards")
+        assert metrics.counter("shards") == 2
+
+    def test_increment_by_value(self):
+        metrics = MetricsRegistry()
+        metrics.add("injections", 50)
+        metrics.add("injections", 25)
+        assert metrics.counter("injections") == 75
+
+    def test_unknown_counter_reads_zero(self):
+        assert MetricsRegistry().counter("never") == 0
+
+
+class TestGauges:
+    def test_gauge_holds_the_latest_value(self):
+        metrics = MetricsRegistry()
+        metrics.set_gauge("queue_depth", 3)
+        metrics.set_gauge("queue_depth", 7)
+        assert metrics.snapshot()["gauges"] == {"queue_depth": 7.0}
+
+
+class TestHistograms:
+    def test_observations_land_in_the_right_buckets(self):
+        metrics = MetricsRegistry()
+        metrics.observe("lat", 0.5, bounds=(1.0, 10.0))
+        metrics.observe("lat", 5.0, bounds=(1.0, 10.0))
+        metrics.observe("lat", 50.0, bounds=(1.0, 10.0))  # open top bucket
+        hist = metrics.snapshot()["histograms"]["lat"]
+        assert hist["bounds"] == [1.0, 10.0]
+        assert hist["counts"] == [1, 1, 1]
+        assert hist["count"] == 3
+        assert hist["sum"] == 55.5
+
+    def test_boundary_value_falls_in_the_next_bucket(self):
+        # buckets are [lower, upper): a value equal to a bound moves up
+        metrics = MetricsRegistry()
+        metrics.observe("lat", 1.0, bounds=(1.0, 10.0))
+        assert metrics.snapshot()["histograms"]["lat"]["counts"] == [0, 1, 0]
+
+    def test_bounds_are_fixed_at_first_observation(self):
+        metrics = MetricsRegistry()
+        metrics.observe("lat", 2.0, bounds=(1.0, 10.0))
+        metrics.observe("lat", 2.0, bounds=(100.0,))  # ignored
+        assert metrics.snapshot()["histograms"]["lat"]["bounds"] == [
+            1.0, 10.0,
+        ]
+
+
+class TestSnapshot:
+    def test_names_are_sorted_for_stable_payloads(self):
+        metrics = MetricsRegistry()
+        metrics.add("zulu")
+        metrics.add("alpha")
+        metrics.set_gauge("mid", 1)
+        snap = metrics.snapshot()
+        assert list(snap["counters"]) == ["alpha", "zulu"]
+        assert snap["gauges"] == {"mid": 1.0}
+        assert snap["histograms"] == {}
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        metrics = MetricsRegistry()
+        metrics.add("n", 2)
+        metrics.observe("h", 3.0)
+        json.dumps(metrics.snapshot())  # embeds in heartbeat payloads

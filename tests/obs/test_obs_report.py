@@ -1,0 +1,131 @@
+"""Read-side analysis: span trees, hotspots, run pairing, rendering."""
+
+from __future__ import annotations
+
+from repro.obs import (
+    OBS_REPORT_SCHEMA,
+    MemorySink,
+    Telemetry,
+    build_spans,
+    render_report,
+    summarize,
+)
+
+
+def _instrumented_session() -> list:
+    telemetry = Telemetry(MemorySink())
+    telemetry.emit("run_start", kind="campaign", label="demo")
+    with telemetry.span("plan"):
+        pass
+    with telemetry.span("execute", shards=2):
+        with telemetry.span("shard"):
+            pass
+        with telemetry.span("shard"):
+            pass
+    telemetry.metrics.add("injections", 100)
+    telemetry.beat("campaign", 2, 2, rate_counter="injections",
+                   unit="inj/s", force=True)
+    telemetry.emit("run_end", kind="campaign", digest="abc123")
+    telemetry.close()
+    return telemetry.sink.events
+
+
+class TestBuildSpans:
+    def test_forest_mirrors_the_nesting(self):
+        forest = build_spans(_instrumented_session())
+        assert [n.name for n in forest] == ["plan", "execute"]
+        execute = forest[1]
+        assert [c.name for c in execute.children] == ["shard", "shard"]
+        assert all(n.dur_ms is not None for n in forest)
+
+    def test_unclosed_span_keeps_a_none_duration(self):
+        telemetry = Telemetry(MemorySink())
+        telemetry.span("killed").__enter__()  # writer dies here
+        (node,) = build_spans(telemetry.sink.events)
+        assert node.name == "killed"
+        assert node.dur_ms is None
+
+    def test_span_ids_restart_per_session(self):
+        events = _instrumented_session() + _instrumented_session()
+        forest = build_spans(events)
+        assert [n.name for n in forest] == ["plan", "execute"] * 2
+
+
+class TestSummarize:
+    def test_summary_shape_and_counts(self):
+        summary = summarize(_instrumented_session())
+        assert summary["schema"] == OBS_REPORT_SCHEMA
+        assert summary["sessions"] == 1
+        assert summary["events"]["span_start"] == 4
+        assert summary["events"]["heartbeat"] == 1
+
+    def test_runs_are_paired_with_digest_and_duration(self):
+        (run,) = summarize(_instrumented_session())["runs"]
+        assert run["kind"] == "campaign"
+        assert run["label"] == "demo"
+        assert run["digest"] == "abc123"
+        assert run["dur_ms"] is not None
+
+    def test_killed_run_reports_unfinished(self):
+        telemetry = Telemetry(MemorySink())
+        telemetry.emit("run_start", kind="stream", label="killed")
+        events = list(telemetry.sink.events)  # no run_end, no close
+        (run,) = summarize(events)["runs"]
+        assert run["dur_ms"] is None
+
+    def test_nested_runs_pair_by_kind(self):
+        # platform wraps its devices' stream runs
+        telemetry = Telemetry(MemorySink())
+        telemetry.emit("run_start", kind="platform", label="veh")
+        telemetry.emit("run_start", kind="stream", label="cam")
+        telemetry.emit("run_end", kind="stream", digest="s1")
+        telemetry.emit("run_end", kind="platform", digest="p1")
+        runs = {r["kind"]: r for r in summarize(telemetry.sink.events)["runs"]}
+        assert runs["stream"]["digest"] == "s1"
+        assert runs["platform"]["digest"] == "p1"
+
+    def test_span_rows_aggregate_by_path(self):
+        rows = {row["path"]: row
+                for row in summarize(_instrumented_session())["spans"]}
+        assert rows["execute/shard"]["count"] == 2
+        assert rows["execute/shard"]["depth"] == 1
+        assert rows["execute"]["total_ms"] >= rows["execute/shard"][
+            "total_ms"]
+
+    def test_hotspots_rank_by_self_time(self):
+        hotspots = summarize(_instrumented_session())["hotspots"]
+        names = [row["name"] for row in hotspots]
+        assert set(names) == {"plan", "execute", "shard"}
+        self_times = [row["self_ms"] for row in hotspots]
+        assert self_times == sorted(self_times, reverse=True)
+
+    def test_worker_errors_and_last_heartbeat_surface(self):
+        telemetry = Telemetry(MemorySink())
+        telemetry.emit("worker_error", shard=3, error="ValueError('x')")
+        telemetry.beat("campaign", 1, 2, force=True)
+        summary = summarize(telemetry.sink.events)
+        assert summary["errors"][0]["shard"] == 3
+        assert summary["last_heartbeat"]["done"] == 1
+
+
+class TestRenderReport:
+    def test_renders_runs_spans_and_hotspots(self):
+        text = render_report(summarize(_instrumented_session()))
+        assert "Telemetry report — 1 session(s)" in text
+        assert "campaign" in text
+        assert "digest=abc123" in text
+        assert "span tree" in text
+        assert "execute" in text
+        assert "hotspots" in text
+        assert "last heartbeat: 2/2" in text
+        assert "injections=100" in text
+
+    def test_top_limits_the_hotspot_rows(self):
+        text = render_report(summarize(_instrumented_session()), top=1)
+        assert "hotspots (self time, top 1):" in text
+
+    def test_unfinished_run_is_flagged(self):
+        telemetry = Telemetry(MemorySink())
+        telemetry.emit("run_start", kind="stream", label="killed")
+        text = render_report(summarize(telemetry.sink.events))
+        assert "(unfinished)" in text

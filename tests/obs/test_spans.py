@@ -1,0 +1,91 @@
+"""Tracing spans: nesting, durations, error capture, the no-op path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MemorySink, Telemetry
+from repro.obs.spans import _NULL_SPAN, Tracer
+
+
+def _session() -> Telemetry:
+    return Telemetry(MemorySink())
+
+
+def _events(telemetry: Telemetry, etype: str = None) -> list:
+    events = telemetry.sink.events
+    if etype is None:
+        return events
+    return [e for e in events if e["type"] == etype]
+
+
+class TestSpanEvents:
+    def test_start_end_pair_shares_the_span_id(self):
+        telemetry = _session()
+        with telemetry.span("plan", shards=4):
+            pass
+        (start,) = _events(telemetry, "span_start")
+        (end,) = _events(telemetry, "span_end")
+        assert start["data"]["name"] == end["data"]["name"] == "plan"
+        assert start["data"]["span"] == end["data"]["span"]
+        assert start["data"]["parent"] is None
+        assert start["data"]["shards"] == 4
+
+    def test_duration_is_non_negative_and_grows(self):
+        telemetry = _session()
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+        ends = {e["data"]["name"]: e["data"]["dur_ms"]
+                for e in _events(telemetry, "span_end")}
+        assert ends["inner"] >= 0.0
+        assert ends["outer"] >= ends["inner"]
+
+    def test_nesting_records_parent_ids(self):
+        telemetry = _session()
+        with telemetry.span("outer") as outer:
+            with telemetry.span("inner") as inner:
+                assert inner.parent == outer.span_id
+        with telemetry.span("sibling") as sibling:
+            assert sibling.parent is None
+
+    def test_error_lands_in_span_end(self):
+        telemetry = _session()
+        with pytest.raises(ValueError):
+            with telemetry.span("doomed"):
+                raise ValueError("boom")
+        (end,) = _events(telemetry, "span_end")
+        assert "ValueError" in end["data"]["error"]
+
+    def test_leaked_inner_span_does_not_corrupt_nesting(self):
+        # an inner span left open (no __exit__) must not become the
+        # parent of later siblings
+        telemetry = _session()
+        outer = telemetry.span("outer")
+        outer.__enter__()
+        telemetry.span("leaked").__enter__()  # never exited
+        outer.__exit__(None, None, None)
+        with telemetry.span("after") as after:
+            assert after.parent is None
+
+
+class TestDisabledTracer:
+    def test_disabled_session_hands_out_the_shared_null_span(self):
+        telemetry = Telemetry()
+        assert telemetry.span("anything") is _NULL_SPAN
+        assert telemetry.span("other", key=1) is _NULL_SPAN
+
+    def test_null_span_is_a_transparent_context_manager(self):
+        with _NULL_SPAN as span:
+            assert span is _NULL_SPAN
+        with pytest.raises(RuntimeError):
+            with _NULL_SPAN:
+                raise RuntimeError("propagates")
+
+    def test_disabled_tracer_emits_nothing(self):
+        emitted = []
+        tracer = Tracer(lambda *a, **k: emitted.append(a),
+                        lambda: 0.0, enabled=False)
+        with tracer.span("quiet"):
+            pass
+        assert emitted == []

@@ -64,6 +64,12 @@ class TestClassifyMetric:
         assert bench_compare.classify_metric(
             "uniform_sdc_events") == "counts"
 
+    def test_overhead_fractions(self):
+        # *overhead_frac wins over the *_s wall suffix check
+        assert bench_compare.classify_metric(
+            "obs_overhead_frac") == "overhead"
+        assert bench_compare.classify_metric("overhead_frac") == "overhead"
+
 
 class TestCompareArtifacts:
     def test_identical_artifacts_pass(self):
@@ -167,6 +173,65 @@ class TestCompareArtifacts:
         failures, _ = bench_compare.compare_artifacts(base, cur,
                                                       tolerance=0.5)
         assert failures == []
+
+
+class TestOverheadGate:
+    def test_overhead_within_budget_passes(self):
+        base = _artifact({"s": {"obs_overhead_frac": 0.0}})
+        cur = _artifact({"s": {"obs_overhead_frac": 0.015}})
+        failures, warnings = bench_compare.compare_artifacts(base, cur)
+        assert failures == [] and warnings == []
+
+    def test_overhead_above_budget_fails(self):
+        base = _artifact({"s": {"obs_overhead_frac": 0.0}})
+        cur = _artifact({"s": {"obs_overhead_frac": 0.031}})
+        failures, _ = bench_compare.compare_artifacts(base, cur)
+        assert len(failures) == 1
+        assert "3.10%" in failures[0]
+        assert "2% budget" in failures[0]
+
+    def test_baseline_above_budget_never_excuses_current(self):
+        # the budget is absolute: a historically bad baseline is not a
+        # licence for the current value to stay bad
+        base = _artifact({"s": {"obs_overhead_frac": 0.5}})
+        cur = _artifact({"s": {"obs_overhead_frac": 0.4}})
+        failures, _ = bench_compare.compare_artifacts(base, cur)
+        assert len(failures) == 1
+
+    def test_new_overhead_metric_is_gated_without_a_baseline(self):
+        # first PR introducing the metric must already meet the budget
+        base = _artifact({"s": {"digest": "abc"}})
+        cur = _artifact({"s": {"digest": "abc",
+                               "obs_overhead_frac": 0.25}})
+        failures, warnings = bench_compare.compare_artifacts(base, cur)
+        assert len(failures) == 1
+        assert "exceeds" in failures[0]
+        assert not any("new metric" in w for w in warnings)
+
+    def test_new_overhead_metric_within_budget_only_warns(self):
+        base = _artifact({"s": {"digest": "abc"}})
+        cur = _artifact({"s": {"digest": "abc",
+                               "obs_overhead_frac": 0.001}})
+        failures, warnings = bench_compare.compare_artifacts(base, cur)
+        assert failures == []
+        assert any("new metric" in w for w in warnings)
+
+    def test_custom_overhead_limit(self):
+        base = _artifact({"s": {"obs_overhead_frac": 0.0}})
+        cur = _artifact({"s": {"obs_overhead_frac": 0.05}})
+        failures, _ = bench_compare.compare_artifacts(
+            base, cur, overhead_limit=0.10)
+        assert failures == []
+
+    def test_overhead_limit_flag(self, tmp_path):
+        base = _write(tmp_path, "base.json",
+                      _artifact({"s": {"obs_overhead_frac": 0.0}}))
+        cur = _write(tmp_path, "cur.json",
+                     _artifact({"s": {"obs_overhead_frac": 0.05}}))
+        assert bench_compare.main([str(base), str(cur)]) == 1
+        assert bench_compare.main(
+            [str(base), str(cur), "--overhead-limit", "0.10"]
+        ) == 0
 
 
 class TestMain:

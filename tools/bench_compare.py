@@ -19,6 +19,11 @@ metric-aware:
 * **wall-clock metrics** (``*_s``) only **warn**: the throughput gate
   already covers sustained slowdowns, and double-gating raw walls makes
   the job flap on loaded runners;
+* **overhead fractions** (``*overhead_frac``) are gated against an
+  absolute ceiling (default 2%): the benches measure the cost of
+  disabled telemetry (the null-sink path) against the uninstrumented
+  loop, and a fraction above the limit **fails** the gate regardless of
+  the baseline's value — the budget is the contract, not the history;
 * scenarios or metrics present on only one side **warn** (a renamed or
   newly added scenario is a review concern, not a perf regression).
 
@@ -33,7 +38,7 @@ determinism drift, ``2`` unusable input.
 Usage::
 
     python tools/bench_compare.py BASELINE.json CURRENT.json \
-        [--tolerance 0.20] [--ratio-tolerance 0.35]
+        [--tolerance 0.20] [--ratio-tolerance 0.35] [--overhead-limit 0.02]
 """
 
 from __future__ import annotations
@@ -44,7 +49,8 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Tuple
 
-__all__ = ["classify_metric", "compare_artifacts", "main"]
+__all__ = ["classify_metric", "compare_artifacts", "main",
+           "DEFAULT_OVERHEAD_LIMIT"]
 
 #: Default allowed relative drop for throughput metrics.
 DEFAULT_TOLERANCE = 0.20
@@ -52,10 +58,15 @@ DEFAULT_TOLERANCE = 0.20
 #: Default allowed relative drop for speedup-ratio metrics.
 DEFAULT_RATIO_TOLERANCE = 0.35
 
+#: Default absolute ceiling for ``*overhead_frac`` metrics: disabled
+#: telemetry may cost at most 2% of the uninstrumented loop (the
+#: repro.obs null-sink contract).
+DEFAULT_OVERHEAD_LIMIT = 0.02
+
 
 def classify_metric(name: str) -> str:
-    """Classify one metric name: deterministic, throughput, ratio, wall
-    or statistical counts.
+    """Classify one metric name: deterministic, throughput, ratio, wall,
+    overhead fraction or statistical counts.
 
     ``throughput_fps`` is *virtual-time* throughput (completed frames per
     second of simulated stream time) — a pure function of the spec, so it
@@ -71,6 +82,8 @@ def classify_metric(name: str) -> str:
         return "throughput"
     if name.startswith("speedup"):
         return "ratio"
+    if name.endswith("overhead_frac"):
+        return "overhead"
     if name.endswith("_s"):
         return "wall"
     if name.endswith(("_events", "_trials")):
@@ -90,6 +103,7 @@ def compare_artifacts(baseline: Dict[str, object],
                       current: Dict[str, object],
                       *, tolerance: float = DEFAULT_TOLERANCE,
                       ratio_tolerance: float = DEFAULT_RATIO_TOLERANCE,
+                      overhead_limit: float = DEFAULT_OVERHEAD_LIMIT,
                       ) -> Tuple[List[str], List[str]]:
     """Compare two artifact payloads.
 
@@ -98,6 +112,9 @@ def compare_artifacts(baseline: Dict[str, object],
         current: the freshly generated artifact (parsed JSON).
         tolerance: allowed relative drop for throughput metrics.
         ratio_tolerance: allowed relative drop for speedup ratios.
+        overhead_limit: absolute ceiling for ``*overhead_frac`` metrics
+            (the current value alone is judged — a baseline within
+            budget never excuses a current value above it).
 
     Returns:
         ``(failures, warnings)`` — human-readable findings; the gate
@@ -132,7 +149,21 @@ def compare_artifacts(baseline: Dict[str, object],
         for metric in sorted(set(base_metrics) - set(cur_metrics)):
             warnings.append(f"{scenario}.{metric}: missing from current")
         for metric in sorted(set(cur_metrics) - set(base_metrics)):
-            warnings.append(f"{scenario}.{metric}: new metric (no baseline)")
+            new = cur_metrics[metric]
+            if (classify_metric(metric) == "overhead"
+                    and isinstance(new, (int, float))
+                    and not isinstance(new, bool)
+                    and new > overhead_limit):
+                # the overhead budget is absolute — it binds even before
+                # a baseline exists for the metric
+                failures.append(
+                    f"{scenario}.{metric}: overhead {new * 100.0:.2f}% "
+                    f"exceeds the {overhead_limit * 100.0:.0f}% budget"
+                )
+            else:
+                warnings.append(
+                    f"{scenario}.{metric}: new metric (no baseline)"
+                )
         for metric in sorted(set(base_metrics) & set(cur_metrics)):
             old = base_metrics[metric]
             new = cur_metrics[metric]
@@ -147,6 +178,12 @@ def compare_artifacts(baseline: Dict[str, object],
                         f"{scenario}.{metric}: {new} is "
                         f"{(1.0 - new / old) * 100.0:.1f}% below baseline "
                         f"{old} (tolerance {tol * 100.0:.0f}%)"
+                    )
+            elif kind == "overhead" and numeric:
+                if new > overhead_limit:
+                    failures.append(
+                        f"{scenario}.{metric}: overhead {new * 100.0:.2f}% "
+                        f"exceeds the {overhead_limit * 100.0:.0f}% budget"
                     )
             elif kind == "wall" and numeric:
                 if old > 0 and new > old * (1.0 + tolerance):
@@ -187,6 +224,10 @@ def main(argv: List[str] = None) -> int:
                         default=DEFAULT_RATIO_TOLERANCE,
                         help="allowed relative speedup-ratio drop "
                              "(default %(default)s)")
+    parser.add_argument("--overhead-limit", type=float,
+                        default=DEFAULT_OVERHEAD_LIMIT,
+                        help="absolute ceiling for *overhead_frac metrics "
+                             "(default %(default)s)")
     args = parser.parse_args(argv)
 
     try:
@@ -199,6 +240,7 @@ def main(argv: List[str] = None) -> int:
     failures, warnings = compare_artifacts(
         baseline, current,
         tolerance=args.tolerance, ratio_tolerance=args.ratio_tolerance,
+        overhead_limit=args.overhead_limit,
     )
     for line in warnings:
         print(f"WARN {line}")
