@@ -40,6 +40,7 @@ from repro.campaigns import (
     resume_campaign,
     run_campaign,
 )
+from repro.obs import Telemetry
 
 _ARTIFACT = BenchArtifact(
     "BENCH_campaigns.json", "bench-campaigns/v2",
@@ -123,7 +124,30 @@ def test_campaign_worker_scaling(benchmark):
         rows = campaign_worker_scaling(spec, worker_counts=(1, 2, 4))
         digests = {row.digest for row in rows}
         assert len(digests) == 1  # determinism across worker counts
+
+        # obs-overhead guard: a disabled Telemetry session (null sink,
+        # one boolean check per shard) must not slow the shard loop —
+        # interleaved best-of-3 legs damp scheduler noise (single legs
+        # swing far more than the true cost on a loaded runner);
+        # tools/bench_compare.py fails the gate when obs_overhead_frac
+        # exceeds 2%
+        null_legs = []
+        plain_legs = []
+        for _ in range(3):
+            t0 = time.perf_counter()
+            run_campaign(spec, workers=1)
+            plain_legs.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            null = run_campaign(spec, workers=1, telemetry=Telemetry())
+            null_legs.append(time.perf_counter() - t0)
+            assert null.digest() == rows[0].digest
+        obs_overhead_frac = max(
+            0.0, round(min(null_legs) / min(plain_legs) - 1.0, 4)
+        )
+
         for row in rows:
+            extra = ({"obs_overhead_frac": obs_overhead_frac}
+                     if row.workers == 1 else {})
             _record(
                 f"campaign/worker_scaling_w{row.workers}",
                 workers=row.workers,
@@ -132,6 +156,7 @@ def test_campaign_worker_scaling(benchmark):
                 injections_per_sec=row.injections_per_sec,
                 speedup_vs_w1=row.speedup,
                 digest=row.digest,
+                **extra,
             )
         return rows
 

@@ -116,7 +116,7 @@ from repro.redundancy import (
 )
 from repro.workloads import classify_kernel, get_benchmark
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 # the api and campaigns packages import repro.__version__ lazily at run
 # time, so these imports must stay below the version assignment

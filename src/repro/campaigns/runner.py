@@ -47,6 +47,13 @@ from repro.faults.campaign import (
 )
 from repro.faults.outcomes import FaultOutcome
 from repro.obs.session import NULL_TELEMETRY, Telemetry
+from repro.obs.worker import (
+    close_worker_session,
+    merge_sidecars,
+    sidecar_dir,
+    sidecar_path,
+    worker_session,
+)
 from repro.redundancy.manager import RedundantKernelManager
 from repro.stats.intervals import RateEstimate
 from repro.stats.repeater import (
@@ -115,32 +122,53 @@ def baseline_campaign(run_spec: RunSpec, *,
     return campaign
 
 
-def _execute_shard(task: Tuple[str, int, int, int, bool]) -> ShardRecord:
+def _shard_key(shard_index: int) -> str:
+    """Worker-sidecar key for a shard (lexicographic == numeric order)."""
+    return f"shard-{shard_index:05d}"
+
+
+def _execute_shard(task: Tuple) -> ShardRecord:
     """Process-pool entry point: run one shard to a :class:`ShardRecord`.
 
     The task is a plain picklable tuple ``(spec_json, shard_index, start,
-    stop, validate)``.  The shard samples exactly its slice of the indexed
-    fault population, classifies each injection against the (cached)
-    clean trace, and aggregates outcome counts — per-injection results
-    never leave the worker.
+    stop, validate)``, optionally extended with a sixth element — the
+    worker-sidecar telemetry path (:mod:`repro.obs.worker`) a pooled
+    worker logs its own spans to.  The shard samples exactly its slice
+    of the indexed fault population, classifies each injection against
+    the (cached) clean trace, and aggregates outcome counts —
+    per-injection results never leave the worker.
     """
-    spec_json, shard_index, start, stop, validate = task
-    spec = CampaignSpec.from_json(spec_json)
-    campaign = baseline_campaign(spec.run, validate=validate)
-    config = spec.faults.to_config(seed=spec.run.seed)
-    sampling = spec.sampling.to_config() if spec.sampling is not None else None
-    counts: Dict[str, Dict[str, int]] = {}
-    sdc_samples: List[str] = []
-    for index in range(start, stop):
-        fault = campaign.fault_at(config, index, sampling=sampling)
-        result = campaign.classify(fault)
-        kind = type(fault).__name__
-        bucket = counts.setdefault(kind, {})
-        key = OUTCOME_KEYS[result.outcome]
-        bucket[key] = bucket.get(key, 0) + 1
-        if (result.outcome is FaultOutcome.SDC
-                and len(sdc_samples) < SDC_SAMPLE_LIMIT):
-            sdc_samples.append(result.fault_label)
+    spec_json, shard_index, start, stop, validate = task[:5]
+    sidecar = task[5] if len(task) > 5 else None
+    wt = worker_session(sidecar)
+    try:
+        with wt.span("shard", shard=shard_index, start=start, stop=stop):
+            spec = CampaignSpec.from_json(spec_json)
+            cached = (spec.run.config_hash, validate) in _BASELINE_CACHE
+            with wt.span("baseline", cached=cached):
+                campaign = baseline_campaign(spec.run, validate=validate)
+            config = spec.faults.to_config(seed=spec.run.seed)
+            sampling = (spec.sampling.to_config()
+                        if spec.sampling is not None else None)
+            counts: Dict[str, Dict[str, int]] = {}
+            sdc_samples: List[str] = []
+            with wt.span("classify", injections=stop - start):
+                for index in range(start, stop):
+                    fault = campaign.fault_at(config, index,
+                                              sampling=sampling)
+                    result = campaign.classify(fault)
+                    kind = type(fault).__name__
+                    bucket = counts.setdefault(kind, {})
+                    key = OUTCOME_KEYS[result.outcome]
+                    bucket[key] = bucket.get(key, 0) + 1
+                    if (result.outcome is FaultOutcome.SDC
+                            and len(sdc_samples) < SDC_SAMPLE_LIMIT):
+                        sdc_samples.append(result.fault_label)
+            if wt.enabled:
+                wt.metrics.add("injections", stop - start)
+                wt.beat("shard", stop - start, stop - start, force=True)
+    finally:
+        close_worker_session(wt)
     return ShardRecord(
         shard=shard_index,
         start=start,
@@ -476,10 +504,14 @@ def _execute(tasks: List[Tuple[str, int, int, int, bool]],
              ) -> Iterable[ShardRecord]:
     """Yield shard records as they complete (in-process or pooled).
 
-    Telemetry is emitted from the orchestrator only (sinks do not cross
-    the process boundary): ``shard_start`` at dispatch — submission
-    time on the pooled path — and ``worker_error`` when a shard raises,
-    immediately before the error propagates.
+    Orchestrator-side telemetry: ``shard_start`` at dispatch —
+    submission time on the pooled path — and ``worker_error`` when a
+    shard raises, immediately before the error propagates.  Pooled
+    shards additionally log their own spans to per-worker sidecar
+    files (:mod:`repro.obs.worker`) which are merged back into the
+    session — in shard order, so the merged stream is deterministic —
+    once the pool drains.  A failing run skips the merge and leaves
+    the sidecars on disk for post-mortem reading.
     """
     tm = telemetry if telemetry is not None else NULL_TELEMETRY
     if workers == 1 or len(tasks) == 1:
@@ -494,6 +526,10 @@ def _execute(tasks: List[Tuple[str, int, int, int, bool]],
             yield record
         return
     pool_size = min(workers, len(tasks))
+    wdir = sidecar_dir(tm) if tm.sink.enabled else None
+    if wdir is not None:
+        tasks = [task + (sidecar_path(wdir, _shard_key(task[1])),)
+                 for task in tasks]
     with ProcessPoolExecutor(max_workers=pool_size) as pool:
         futures = {}
         for task in tasks:
@@ -507,6 +543,8 @@ def _execute(tasks: List[Tuple[str, int, int, int, bool]],
                 tm.emit("worker_error", shard=futures[future],
                         error=repr(exc))
                 raise
+    if wdir is not None:
+        merge_sidecars(tm, wdir, [_shard_key(task[1]) for task in tasks])
 
 
 def resume_campaign(store: Union[CampaignStore, str, Path], *,

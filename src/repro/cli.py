@@ -59,11 +59,28 @@ ticker) and ``--heartbeat S``; telemetry never changes any report::
 
     python -m repro campaign run --spec c.json --telemetry t.jsonl --progress
     python -m repro obs validate t.jsonl            # schema check
+    python -m repro obs validate t.jsonl --strict   # warnings become errors
     python -m repro obs report t.jsonl --top 5      # span tree + hotspots
+    python -m repro obs archive t.jsonl --tag base  # into .repro-obs/
+    python -m repro obs list                        # archived runs
+    python -m repro obs gc --keep 3                 # prune per (kinds, spec)
+    python -m repro obs export t.jsonl --chrome     # Perfetto trace JSON
+    python -m repro obs export RUNID --folded       # flamegraph stacks
+    python -m repro obs export RUNID --csv          # heartbeat series
+    python -m repro obs diff BASE CAND --json       # cross-run span deltas
 
 ``obs validate`` exits 1 on schema violations and 2 when the file
-cannot be read; ``obs report`` renders run summaries, the span tree and
-self-time hotspots (``--json`` for the repro-obs-report/v1 schema).
+cannot be read (``--strict`` promotes tolerated findings — unknown
+event types, stale worker seq — to violations); ``obs report`` renders
+run summaries, the span tree and self-time hotspots (``--json`` for the
+repro-obs-report/v1 schema).  ``archive``/``list``/``gc`` manage the
+``.repro-obs`` store (run ids are content digests; every command
+taking TELEMETRY also accepts an archived tag or run-id prefix).
+``export`` writes Chrome/Perfetto trace JSON, collapsed stacks or
+heartbeat CSV;
+``obs diff`` aligns the span trees of two runs, tests per-path
+self-time deltas for significance (repro-obs-diff/v1) and exits like
+``compare``: 0 = indistinguishable, 1 = significant, 2 = misuse.
 
 Statistical significance diff (:mod:`repro.stats`)::
 
@@ -89,7 +106,7 @@ import inspect
 import json
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.experiments import (
     dispatch_latency_sweep,
@@ -132,13 +149,21 @@ from repro.faults.campaign import CampaignReport
 from repro.lint import load_config, run_lint
 from repro.obs import (
     DEFAULT_HEARTBEAT_S,
+    DEFAULT_OBS_DIR,
     TELEMETRY_SCHEMA,
+    ObsStore,
     Telemetry,
+    classify_events,
+    diff_events,
+    heartbeat_csv,
     profiled,
     read_telemetry,
+    render_chrome_trace,
+    render_diff,
     render_report,
+    scan_telemetry,
     summarize,
-    validate_events,
+    to_folded,
 )
 from repro.gpu.config import GPUConfig
 from repro.iso26262.decomposition import FIGURE1_EXAMPLES
@@ -360,33 +385,154 @@ def _open_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
                             heartbeat_s=args.heartbeat)
 
 
-def _cmd_obs(args: argparse.Namespace) -> int:
-    """Validate or render a telemetry event log; return the exit code.
+def _obs_events(ref: str, obs_dir: str) -> Tuple[List[Dict[str, Any]], str]:
+    """Load telemetry events from a file path or an archived run ref.
 
-    ``obs validate`` exits 0 when the file is schema-valid, 1 on
-    violations, 2 when it cannot be read at all.  ``obs report`` renders
-    the run summaries, span tree and hotspots (exit 2 on an unreadable
-    file).
+    ``ref`` naming an existing file wins; anything else is resolved as a
+    (prefix of a) run id in the ``obs_dir`` archive.  Returns the events
+    plus a display label (the path, or the full resolved run id).
+
+    Raises:
+        ObsError: unreadable/corrupt file, or an unknown/ambiguous id.
+    """
+    if Path(ref).is_file():
+        return read_telemetry(ref), ref
+    store = ObsStore(obs_dir)
+    entry = store.resolve(ref)
+    return store.load_events(entry["run_id"]), entry["run_id"]
+
+
+def _cmd_obs_validate(args: argparse.Namespace) -> int:
+    """``obs validate``: lenient by default, ``--strict`` promotes."""
+    events, tears = scan_telemetry(args.path)
+    problems, tolerated = classify_events(events)
+    if args.strict:
+        problems, tolerated = problems + tolerated, []
+    for problem in problems:
+        print(f"{args.path}: {problem}", file=sys.stderr)
+    for note in tolerated:
+        print(f"{args.path}: warning: {note}", file=sys.stderr)
+    for tear in tears:
+        where = ("end of file" if tear["tear"] == "file"
+                 else "end of an interrupted session")
+        print(f"{args.path}: note: torn line {tear['line']} "
+              f"skipped ({where})", file=sys.stderr)
+    if problems:
+        return 1
+    extra = ""
+    if tolerated:
+        extra += f", {len(tolerated)} warning(s)"
+    if tears:
+        extra += f", {len(tears)} torn line(s) skipped"
+    print(f"{args.path}: {len(events)} event(s) OK "
+          f"({TELEMETRY_SCHEMA}){extra}")
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    """``obs export``: one telemetry log to one analysis format."""
+    chosen = [name for name, flag in (("--chrome", args.chrome),
+                                      ("--folded", args.folded),
+                                      ("--csv", args.csv)) if flag]
+    if len(chosen) != 1:
+        raise ObsError("choose exactly one of --chrome, --folded, --csv")
+    events, _ = _obs_events(args.path, args.dir)
+    if args.chrome:
+        text = render_chrome_trace(events) + "\n"
+    elif args.folded:
+        text = to_folded(events)
+    else:
+        text = heartbeat_csv(events)
+    if args.out:
+        try:
+            Path(args.out).write_text(text)
+        except OSError as exc:
+            raise ObsError(f"cannot write {args.out!r}: {exc}")
+        print(f"wrote {chosen[0].lstrip('-')} export to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    """``obs diff``: exits 0 alike / 1 significant (like ``compare``)."""
+    events_a, label_a = _obs_events(args.a, args.dir)
+    events_b, label_b = _obs_events(args.b, args.dir)
+    payload = diff_events(
+        events_a, events_b, label_a=label_a, label_b=label_b,
+        confidence=args.confidence, min_rel=args.min_rel,
+        min_abs_ms=args.min_abs_ms,
+    )
+    if args.json:
+        print(json.dumps(payload, sort_keys=True, indent=2))
+    else:
+        print(render_diff(payload))
+    return 1 if payload["significant"] else 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Dispatch the ``obs`` analysis-plane actions; return the exit code.
+
+    ``validate`` exits 0 when the log is schema-valid (tolerated
+    findings print as warnings unless ``--strict`` promotes them), 1 on
+    violations, 2 when the file cannot be read.  ``report`` and
+    ``export`` render one log; ``archive``/``list``/``gc`` manage the
+    ``.repro-obs`` store; ``diff`` compares two logs and exits like
+    ``compare`` (0 = indistinguishable, 1 = significant difference,
+    2 = misuse).
     """
     try:
-        events = read_telemetry(args.path)
-    except ObsError as exc:
+        if args.obs_command == "validate":
+            return _cmd_obs_validate(args)
+        if args.obs_command == "archive":
+            store = ObsStore(args.dir)
+            entry = store.archive(args.path, tag=args.tag)
+            kinds = ",".join(entry["kinds"]) or "-"
+            print(f"archived {entry['run_id']} ({entry['events']} event(s), "
+                  f"{entry['sessions']} session(s), kinds: {kinds})")
+            return 0
+        if args.obs_command == "list":
+            entries = ObsStore(args.dir).entries()
+            if args.json:
+                print(json.dumps(entries, sort_keys=True, indent=2))
+                return 0
+            if not entries:
+                print(f"no archived runs in {args.dir}")
+                return 0
+            rows = [
+                [e["run_id"], e["tag"] or "-", ",".join(e["kinds"]) or "-",
+                 str(e["sessions"]), str(e["events"]), str(e["spans"]),
+                 ",".join(h[:8] for h in e["spec_hashes"]) or "-",
+                 e["source"]]
+                for e in entries
+            ]
+            print(render_table(
+                ["run id", "tag", "kinds", "sessions", "events", "spans",
+                 "spec", "source"],
+                rows, title=f"telemetry archive — {args.dir}"))
+            return 0
+        if args.obs_command == "gc":
+            removed = ObsStore(args.dir).gc(keep=args.keep)
+            for entry in removed:
+                print(f"removed {entry['run_id']} ({entry['source']})")
+            print(f"{len(removed)} run(s) removed, keep={args.keep} "
+                  "per (kinds, spec) group")
+            return 0
+        if args.obs_command == "export":
+            return _cmd_obs_export(args)
+        if args.obs_command == "diff":
+            return _cmd_obs_diff(args)
+        # report
+        events, _ = _obs_events(args.path, args.dir)
+        summary = summarize(events)
+        if args.json:
+            print(json.dumps(summary, sort_keys=True, indent=2))
+        else:
+            print(render_report(summary, top=args.top))
+        return 0
+    except (ObsError, StatsError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if args.obs_command == "validate":
-        problems = validate_events(events)
-        if problems:
-            for problem in problems:
-                print(f"{args.path}: {problem}", file=sys.stderr)
-            return 1
-        print(f"{args.path}: {len(events)} event(s) OK ({TELEMETRY_SCHEMA})")
-        return 0
-    summary = summarize(events)
-    if args.json:
-        print(json.dumps(summary, sort_keys=True, indent=2))
-    else:
-        print(render_report(summary, top=args.top))
-    return 0
 
 
 # ----------------------------------------------------------------------
@@ -1022,21 +1168,86 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="obs_command", required=True, metavar="action"
     )
 
+    def _obs_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dir", default=DEFAULT_OBS_DIR, metavar="DIR",
+                       help="telemetry archive directory "
+                            f"(default {DEFAULT_OBS_DIR})")
+
     oreport = obs_sub.add_parser(
         "report", help="render run summaries, the span tree and hotspots"
     )
-    oreport.add_argument("path", metavar="TELEMETRY.jsonl",
-                         help="telemetry file written by --telemetry")
+    oreport.add_argument("path", metavar="TELEMETRY",
+                         help="telemetry file or archived tag/run-id prefix")
     oreport.add_argument("--top", type=int, default=10,
                          help="hotspot rows to show (default 10)")
     oreport.add_argument("--json", action="store_true",
                          help="emit the stable repro-obs-report/v1 schema")
+    _obs_dir(oreport)
 
     ovalidate = obs_sub.add_parser(
         "validate", help="check a telemetry file against the v1 schema"
     )
     ovalidate.add_argument("path", metavar="TELEMETRY.jsonl",
                            help="telemetry file written by --telemetry")
+    ovalidate.add_argument("--strict", action="store_true",
+                           help="promote tolerated findings (unknown event "
+                                "types, stale worker seq) to violations")
+
+    oarchive = obs_sub.add_parser(
+        "archive", help="copy a telemetry log into the .repro-obs archive"
+    )
+    oarchive.add_argument("path", metavar="TELEMETRY.jsonl",
+                          help="telemetry file written by --telemetry")
+    oarchive.add_argument("--tag", default="",
+                          help="free-form label stored with the run")
+    _obs_dir(oarchive)
+
+    olist = obs_sub.add_parser(
+        "list", help="list archived telemetry runs"
+    )
+    olist.add_argument("--json", action="store_true",
+                       help="emit repro-obs-store/v1 manifest entries")
+    _obs_dir(olist)
+
+    ogc = obs_sub.add_parser(
+        "gc", help="prune the archive, keeping the newest runs per group"
+    )
+    ogc.add_argument("--keep", type=int, default=5, metavar="N",
+                     help="runs to keep per (kinds, spec) group (default 5)")
+    _obs_dir(ogc)
+
+    oexport = obs_sub.add_parser(
+        "export", help="export a telemetry log for external tools"
+    )
+    oexport.add_argument("path", metavar="TELEMETRY",
+                         help="telemetry file or archived tag/run-id prefix")
+    oexport.add_argument("--chrome", action="store_true",
+                         help="Chrome/Perfetto trace-event JSON")
+    oexport.add_argument("--folded", action="store_true",
+                         help="collapsed-stack lines for flamegraph tools")
+    oexport.add_argument("--csv", action="store_true",
+                         help="heartbeat metric series as CSV")
+    oexport.add_argument("--out", metavar="FILE",
+                         help="write to FILE instead of stdout")
+    _obs_dir(oexport)
+
+    odiff = obs_sub.add_parser(
+        "diff", help="compare two telemetry runs (span + counter deltas)"
+    )
+    odiff.add_argument("a", metavar="A",
+                       help="baseline: telemetry file or archived tag/run id")
+    odiff.add_argument("b", metavar="B",
+                       help="candidate: telemetry file or archived tag/run id")
+    odiff.add_argument("--json", action="store_true",
+                       help="emit the stable repro-obs-diff/v1 schema")
+    odiff.add_argument("--confidence", type=float, default=0.95,
+                       help="interval confidence level (default 0.95)")
+    odiff.add_argument("--min-rel", type=float, default=0.10,
+                       help="relative self-time change floor (default 0.10)")
+    odiff.add_argument("--min-abs-ms", type=float, default=1.0,
+                       help="absolute self-time change floor in ms "
+                            "(default 1.0)")
+    _obs_dir(odiff)
 
     return parser
 

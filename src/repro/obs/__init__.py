@@ -14,7 +14,14 @@ allowed to read a clock.  It provides:
 * **live progress** — the ``--progress`` stderr ticker
   (:mod:`repro.obs.progress`);
 * shared **cProfile wiring** for the profiling entry points
-  (:mod:`repro.obs.profiling`).
+  (:mod:`repro.obs.profiling`);
+* **per-worker capture** — pooled shard/job/device workers log to
+  sidecar files merged back deterministically after the pool drains
+  (:mod:`repro.obs.worker`);
+* the **analysis plane** — the digest-indexed ``.repro-obs/`` archive
+  (:mod:`repro.obs.store`), Chrome-trace/flamegraph/CSV export
+  (:mod:`repro.obs.export`) and statistically gated cross-run span
+  diffing (:mod:`repro.obs.diff`), all reading telemetry files only.
 
 Everything hangs off one facade, :class:`~repro.obs.session.Telemetry`,
 which the campaign/stream/platform runners and the engine accept as an
@@ -24,12 +31,24 @@ with telemetry on, off, or interrupted (see ``docs/OBSERVABILITY.md``
 for the contract and ``tests/obs/`` for the proof).
 """
 
+from repro.obs.diff import (
+    OBS_DIFF_SCHEMA,
+    diff_events,
+    render_diff,
+)
 from repro.obs.events import (
     EVENT_TYPES,
     TELEMETRY_SCHEMA,
     check_events,
+    classify_events,
     validate_event,
     validate_events,
+)
+from repro.obs.export import (
+    heartbeat_csv,
+    render_chrome_trace,
+    to_chrome_trace,
+    to_folded,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import profiled
@@ -48,11 +67,21 @@ from repro.obs.sink import (
     NullSink,
     TelemetrySink,
     read_telemetry,
+    scan_telemetry,
 )
 from repro.obs.spans import Span, Tracer
+from repro.obs.store import DEFAULT_OBS_DIR, OBS_STORE_SCHEMA, ObsStore
+from repro.obs.worker import (
+    close_worker_session,
+    merge_sidecars,
+    sidecar_dir,
+    sidecar_path,
+    worker_session,
+)
 
 __all__ = [
     "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_OBS_DIR",
     "EVENT_TYPES",
     "JsonlSink",
     "MemorySink",
@@ -60,7 +89,10 @@ __all__ = [
     "NULL_SINK",
     "NULL_TELEMETRY",
     "NullSink",
+    "OBS_DIFF_SCHEMA",
     "OBS_REPORT_SCHEMA",
+    "OBS_STORE_SCHEMA",
+    "ObsStore",
     "ProgressTicker",
     "Span",
     "TELEMETRY_SCHEMA",
@@ -69,11 +101,24 @@ __all__ = [
     "Tracer",
     "build_spans",
     "check_events",
+    "classify_events",
+    "close_worker_session",
+    "diff_events",
+    "heartbeat_csv",
+    "merge_sidecars",
     "profiled",
     "read_telemetry",
+    "render_chrome_trace",
+    "render_diff",
     "render_progress",
     "render_report",
+    "scan_telemetry",
+    "sidecar_dir",
+    "sidecar_path",
     "summarize",
+    "to_chrome_trace",
+    "to_folded",
     "validate_event",
     "validate_events",
+    "worker_session",
 ]

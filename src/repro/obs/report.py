@@ -50,11 +50,14 @@ def build_spans(events: List[Dict[str, Any]]) -> List[SpanNode]:
     """Rebuild the span forest from ``span_start``/``span_end`` events.
 
     Span ids restart at every session header, so the forest is built
-    per session and concatenated in file order.  Unmatched starts stay
-    in the tree with ``dur_ms=None``; unmatched ends are dropped.
+    per session and concatenated in file order.  Ids are integers for
+    orchestrator spans and ``"<worker>:<id>"`` strings for merged
+    worker-sidecar spans (:mod:`repro.obs.worker`) — any int or str id
+    nests.  Unmatched starts stay in the tree with ``dur_ms=None``;
+    unmatched ends are dropped.
     """
     forest: List[SpanNode] = []
-    open_nodes: Dict[int, SpanNode] = {}
+    open_nodes: Dict[Any, SpanNode] = {}
     for event in events:
         etype = event.get("type")
         data = event.get("data", {})
@@ -64,14 +67,16 @@ def build_spans(events: List[Dict[str, Any]]) -> List[SpanNode]:
         if etype == "span_start":
             node = SpanNode(str(data.get("name", "?")))
             parent = data.get("parent")
-            if parent is not None and parent in open_nodes:
+            if isinstance(parent, (int, str)) and parent in open_nodes:
                 open_nodes[parent].children.append(node)
             else:
                 forest.append(node)
-            if isinstance(data.get("span"), int):
+            if isinstance(data.get("span"), (int, str)):
                 open_nodes[data["span"]] = node
         elif etype == "span_end":
-            node = open_nodes.pop(data.get("span"), None)
+            span_id = data.get("span")
+            node = (open_nodes.pop(span_id, None)
+                    if isinstance(span_id, (int, str)) else None)
             if node is not None:
                 dur = data.get("dur_ms")
                 node.dur_ms = float(dur) if isinstance(
@@ -267,9 +272,10 @@ def render_report(summary: Dict[str, Any], *, top: int = 10) -> str:
     beat = summary.get("last_heartbeat")
     if beat:
         counters = beat.get("metrics", {}).get("counters", {})
-        rendered = " ".join(
-            f"{name}={counters[name]:g}" for name in counters
-        )
+        gauges = beat.get("metrics", {}).get("gauges", {})
+        parts = [f"{name}={counters[name]:g}" for name in counters]
+        parts.extend(f"{name}={gauges[name]:g}" for name in gauges)
+        rendered = " ".join(parts)
         lines.append(
             f"last heartbeat: {beat.get('done')}/{beat.get('total')}"
             + (f" — {rendered}" if rendered else "")

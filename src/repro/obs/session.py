@@ -134,6 +134,16 @@ class Telemetry:
         """Open a tracing span (shared no-op when the sink is off)."""
         return self._tracer.span(name, **data)
 
+    @property
+    def current_span(self) -> Optional[int]:
+        """Id of the innermost open span (``None`` at the root).
+
+        Worker-sidecar merging (:mod:`repro.obs.worker`) reparents
+        merged root spans under this id so pooled shard/device spans
+        nest inside the orchestrator phase that dispatched them.
+        """
+        return self._tracer.current
+
     # ------------------------------------------------------------------
     def beat(self, label: str, done: int, total: int, *,
              rate_counter: str = "", unit: str = "items/s",

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Tuple, Union
 
 from repro.errors import ObsError
 
@@ -40,6 +40,7 @@ __all__ = [
     "NullSink",
     "TelemetrySink",
     "read_telemetry",
+    "scan_telemetry",
 ]
 
 
@@ -164,23 +165,27 @@ def _is_session_header(line: str) -> bool:
             and payload.get("type") == "telemetry_start")
 
 
-def read_telemetry(path: Union[str, Path]) -> List[Dict[str, Any]]:
-    """Read a telemetry file into parsed event dicts, in file order.
+def scan_telemetry(path: Union[str, Path]
+                   ) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Read a telemetry file, reporting where torn lines were skipped.
 
     Torn-line tolerance mirrors the campaign store: an unparseable line
     is skipped when the writer can have died there — i.e. it is the last
-    content line of the file, or the next content line opens a new
-    session (``telemetry_start``), meaning the tear ended one session
-    and a resume appended the next.  An unparseable line anywhere else
-    is mid-session corruption and raises.
+    content line of the file (``tear: "file"``), or the next content
+    line opens a new session (``telemetry_start``), meaning the tear
+    ended one session and a resume appended the next
+    (``tear: "session"``).  An unparseable line anywhere else is
+    mid-session corruption and raises.
 
     Args:
         path: the telemetry JSONL file.
 
     Returns:
-        One dict per surviving line.  No schema validation happens here
-        — pass the result to :func:`repro.obs.events.validate_events`
-        (or ``repro obs validate``).
+        ``(events, tears)`` — one event dict per surviving line, plus
+        one ``{"line": lineno, "tear": "file" | "session"}`` record per
+        skipped torn line.  No schema validation happens here — pass
+        the events to :func:`repro.obs.events.validate_events` (or
+        ``repro obs validate``).
 
     Raises:
         ObsError: when the file cannot be read, or a line is corrupt in
@@ -197,6 +202,7 @@ def read_telemetry(path: Union[str, Path]) -> List[Dict[str, Any]]:
         if line.strip()
     ]
     events: List[Dict[str, Any]] = []
+    tears: List[Dict[str, Any]] = []
     for position, (lineno, line) in enumerate(content):
         try:
             payload = json.loads(line)
@@ -208,6 +214,10 @@ def read_telemetry(path: Union[str, Path]) -> List[Dict[str, Any]]:
             if is_last or next_is_header:
                 # torn line where a writer died (end of file, or end of
                 # the session a resume later appended after)
+                tears.append({
+                    "line": lineno,
+                    "tear": "file" if is_last else "session",
+                })
                 continue
             raise ObsError(
                 f"{path}:{lineno}: corrupt telemetry line (not valid "
@@ -218,4 +228,23 @@ def read_telemetry(path: Union[str, Path]) -> List[Dict[str, Any]]:
                 f"{path}:{lineno}: telemetry line is not a JSON object"
             )
         events.append(payload)
-    return events
+    return events, tears
+
+
+def read_telemetry(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read a telemetry file into parsed event dicts, in file order.
+
+    Thin wrapper over :func:`scan_telemetry` that drops the torn-line
+    positions; see there for the tolerance rules.
+
+    Args:
+        path: the telemetry JSONL file.
+
+    Returns:
+        One dict per surviving line.
+
+    Raises:
+        ObsError: when the file cannot be read, or a line is corrupt in
+            the middle of a session.
+    """
+    return scan_telemetry(path)[0]

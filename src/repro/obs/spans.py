@@ -81,6 +81,11 @@ class Tracer:
         self._next_id = 0
         self._stack: List[int] = []
 
+    @property
+    def current(self) -> Optional[int]:
+        """Id of the innermost open span (``None`` at the root)."""
+        return self._stack[-1] if self._stack else None
+
     def span(self, name: str, **data: object):
         """Open a span named ``name``; use as a context manager.
 

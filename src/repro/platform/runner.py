@@ -36,6 +36,13 @@ from repro.api.stream import StreamSpec
 from repro.errors import WorkerCountError
 from repro.iso26262.asil import Asil, as_asil
 from repro.obs.session import NULL_TELEMETRY, Telemetry
+from repro.obs.worker import (
+    close_worker_session,
+    merge_sidecars,
+    sidecar_dir,
+    sidecar_path,
+    worker_session,
+)
 from repro.platform.placement import PlatformPlan, bind_task, plan_placement
 from repro.platform.report import PlatformReport, task_verdict
 from repro.streams.report import StreamReport
@@ -43,7 +50,8 @@ from repro.streams.runner import run_stream
 
 __all__ = ["run_platform"]
 
-#: One pool task: (device name, [(label, stream spec JSON, protocol ms)]).
+#: One pool task: (device name, [(label, stream spec JSON, protocol ms)]),
+#: optionally extended with a worker-sidecar telemetry path.
 _DeviceItem = Tuple[str, List[Tuple[str, str, float]], bool]
 
 
@@ -52,17 +60,30 @@ def _run_device(item: _DeviceItem,
     """Process-pool entry point: run one device's task streams.
 
     ``telemetry`` is only threaded through on the in-process path —
-    sinks are not picklable, so pooled devices run uninstrumented and
-    the orchestrator emits their lifecycle events instead.
+    sinks are not picklable.  A pooled item instead carries a
+    worker-sidecar path as its fourth element
+    (:mod:`repro.obs.worker`): the worker opens its own session there,
+    wraps the device in a ``device`` span and instruments its streams
+    in full; the orchestrator merges the sidecar back after the pool
+    drains.
     """
-    _, tasks, validate = item
-    reports = []
-    for _, spec_json, protocol_ms in tasks:
-        spec = StreamSpec.from_json(spec_json)
-        report = run_stream(spec, service_offset_ms=protocol_ms,
-                            validate=validate, telemetry=telemetry)
-        reports.append(report.to_dict())
-    return reports
+    name, tasks, validate = item[0], item[1], item[2]
+    sidecar = item[3] if len(item) > 3 else None
+    wt = worker_session(sidecar) if telemetry is None else NULL_TELEMETRY
+    tm = telemetry if telemetry is not None else wt
+    try:
+        reports = []
+        with wt.span("device", device=name, tasks=len(tasks)):
+            for _, spec_json, protocol_ms in tasks:
+                spec = StreamSpec.from_json(spec_json)
+                report = run_stream(
+                    spec, service_offset_ms=protocol_ms, validate=validate,
+                    telemetry=tm if tm.enabled else None,
+                )
+                reports.append(report.to_dict())
+        return reports
+    finally:
+        close_worker_session(wt)
 
 
 def run_platform(spec: PlatformSpec, *, workers: int = 1,
@@ -142,6 +163,12 @@ def run_platform(spec: PlatformSpec, *, workers: int = 1,
                 tm.metrics.set_gauge(
                     "pool_utilisation", len(items) / pool_size
                 )
+            wdir = sidecar_dir(tm) if tm.sink.enabled else None
+            keys = [f"device-{item[0]}" for item in items]
+            pool_items: List[Tuple] = list(items)
+            if wdir is not None:
+                pool_items = [item + (sidecar_path(wdir, key),)
+                              for item, key in zip(items, keys)]
             with ProcessPoolExecutor(max_workers=pool_size) as pool:
                 for item in items:
                     tm.emit("device_start", device=item[0],
@@ -149,10 +176,12 @@ def run_platform(spec: PlatformSpec, *, workers: int = 1,
                 # pool.map yields in submission order as devices finish,
                 # so device_end events land while later devices still run
                 for item, payloads in zip(items, pool.map(_run_device,
-                                                          items)):
+                                                          pool_items)):
                     results.append(payloads)
                     if tm.enabled:
                         _observe_device(item[0], payloads, len(results))
+            if wdir is not None:
+                merge_sidecars(tm, wdir, keys)
 
     reports: Dict[str, StreamReport] = {}
     for (_, tasks, _), payloads in zip(items, results):

@@ -160,7 +160,8 @@ def run_stream(spec: StreamSpec, *, workers: int = 1,
         raise StreamError("service_offset_ms cannot be negative")
     tm = telemetry if telemetry is not None else NULL_TELEMETRY
     with tm.span("resolve_jobs", workers=workers):
-        profiles = resolve_jobs(spec, workers=workers, validate=validate)
+        profiles = resolve_jobs(spec, workers=workers, validate=validate,
+                                telemetry=tm if tm.enabled else None)
     policy = profiles[0].run.sim.scheduler_name
     tm.emit("run_start", kind="stream", label=spec.label,
             spec_hash=spec.config_hash, frames=spec.frames, policy=policy)
@@ -309,6 +310,9 @@ def run_stream(spec: StreamSpec, *, workers: int = 1,
                 slot = 0
         if tm.enabled:
             tm.metrics.add("frames", frame - window_start)
+            # drops counter + queue-depth gauge surface backpressure in
+            # `obs report` without parsing frame_window events
+            tm.metrics.add("drops", dropped - w_dropped)
             tm.metrics.set_gauge("queue_depth", len(in_system))
             tm.metrics.observe("window_drops", dropped - w_dropped)
             tm.emit("frame_window", start=window_start, stop=frame,

@@ -121,6 +121,59 @@ class TestCampaignNeutrality:
         assert sum(e["type"] == "telemetry_start" for e in events) == 2
 
 
+class TestWorkerSidecarNeutrality:
+    """Pooled worker capture observes too: sidecars on, off, or torn
+    never move a digest bit."""
+
+    def test_pooled_campaign_with_sidecars_matches_plain(self, tmp_path):
+        plain = run_campaign(_campaign_spec(), workers=2)
+        log = tmp_path / "t.jsonl"
+        telemetry = Telemetry.create(path=log)
+        instrumented = run_campaign(_campaign_spec(), workers=2,
+                                    telemetry=telemetry)
+        telemetry.close()
+        assert instrumented.digest() == plain.digest()
+        assert instrumented.to_dict() == plain.to_dict()
+        events = read_telemetry(log)
+        assert validate_events(events) == []
+        # sidecars were merged and cleaned up, workers are visible
+        assert not (tmp_path / "t.jsonl.workers").exists()
+        assert any("worker" in e.get("data", {}) for e in events)
+
+    def test_memory_sink_disables_sidecars_without_changing_digests(
+            self, tmp_path):
+        plain = run_campaign(_campaign_spec(), workers=2)
+        telemetry = _session()
+        instrumented = run_campaign(_campaign_spec(), workers=2,
+                                    telemetry=telemetry)
+        telemetry.close()
+        assert instrumented.digest() == plain.digest()
+        assert validate_events(telemetry.sink.events) == []
+        # memory sinks have no sidecar directory to leave behind
+        assert list(tmp_path.iterdir()) == []
+
+    def test_torn_worker_sidecar_never_reaches_the_report(self, tmp_path):
+        from repro.obs import merge_sidecars, sidecar_dir
+
+        plain = run_campaign(_campaign_spec(), workers=2)
+        log = tmp_path / "t.jsonl"
+        telemetry = Telemetry.create(path=log)
+        instrumented = run_campaign(_campaign_spec(), workers=2,
+                                    telemetry=telemetry)
+        # a late worker is killed mid-write: its sidecar has a torn
+        # tail when the next merge folds it in
+        wdir = sidecar_dir(telemetry)
+        torn = wdir / "worker-shard-99999.jsonl"
+        torn.write_text(
+            '{"type": "telemetry_start", "seq": 0, "t_ms": 0.0, '
+            '"data": {"schema": "repro-telemetry/v1", "version": "x"}}\n'
+            '{"type": "checkpoint", "seq": 1, "t_ms": 0.5, "da')
+        merge_sidecars(telemetry, wdir, ["shard-99999"])
+        telemetry.close()
+        assert instrumented.digest() == plain.digest()
+        assert validate_events(read_telemetry(log)) == []
+
+
 class TestStreamNeutrality:
     def test_instrumented_run_matches_plain_run(self):
         plain = run_stream(_stream_spec())

@@ -42,10 +42,61 @@ class TestObsValidate:
 
     def test_schema_violations_exit_one(self, capsys, tmp_path):
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"type": "warp_drive", "seq": 0, "t_ms": 0.0, '
-                        '"data": {}}\n')
+        path.write_text('{"type": "telemetry_start", "seq": 0, '
+                        '"t_ms": 0.0, "data": {"schema": "wrong/v9"}}\n')
         assert main(["obs", "validate", str(path)]) == 1
-        assert "unknown event type" in capsys.readouterr().err
+        assert "declares schema" in capsys.readouterr().err
+
+    def test_unknown_event_type_warns_by_default(self, capsys,
+                                                 telemetry_file):
+        lines = telemetry_file.read_text().splitlines()
+        lines.insert(1, '{"type": "warp_drive", "seq": 5, "t_ms": 0.5, '
+                        '"data": {}}')
+        # renumber: keep seq monotonic so only the type is suspect
+        telemetry_file.write_text(
+            lines[0] + "\n" + lines[1] + "\n"
+            + lines[2].replace('"seq": 1', '"seq": 9') + "\n")
+        assert main(["obs", "validate", str(telemetry_file)]) == 0
+        captured = capsys.readouterr()
+        assert "warning:" in captured.err
+        assert "unknown event type" in captured.err
+        assert "1 warning(s)" in captured.out
+
+    def test_strict_promotes_warnings_to_violations(self, capsys,
+                                                    telemetry_file):
+        lines = telemetry_file.read_text().splitlines()
+        lines.insert(1, '{"type": "warp_drive", "seq": 5, "t_ms": 0.5, '
+                        '"data": {}}')
+        telemetry_file.write_text(
+            lines[0] + "\n" + lines[1] + "\n"
+            + lines[2].replace('"seq": 1', '"seq": 9') + "\n")
+        assert main(["obs", "validate", str(telemetry_file),
+                     "--strict"]) == 1
+        captured = capsys.readouterr()
+        assert "warning:" not in captured.err
+        assert "unknown event type" in captured.err
+
+    def test_torn_tail_of_non_final_session_is_surfaced(self, capsys,
+                                                        tmp_path):
+        # a kill-resume log: session 1's last line is torn, session 2
+        # follows — validate must note the tear but stay green
+        path = tmp_path / "t.jsonl"
+        header = ('{"type": "telemetry_start", "seq": 0, "t_ms": 0.0, '
+                  '"data": {"schema": "repro-telemetry/v1", '
+                  '"version": "x"}}')
+        path.write_text(
+            header + "\n"
+            + '{"type": "checkpoint", "seq": 1, "t_ms": 1.0, "da'
+            + "\n" + header + "\n"
+            + '{"type": "telemetry_end", "seq": 1, "t_ms": 1.0, '
+              '"data": {"events": 2}}\n')
+        assert main(["obs", "validate", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "torn line 2" in captured.err
+        assert "interrupted session" in captured.err
+        assert "1 torn line(s) skipped" in captured.out
+        # strictness is about schema findings, not kill artefacts
+        assert main(["obs", "validate", str(path), "--strict"]) == 0
 
     def test_unreadable_file_exits_two(self, capsys, tmp_path):
         assert main(["obs", "validate", str(tmp_path / "absent.jsonl")]) == 2
@@ -75,6 +126,81 @@ class TestObsReport:
     def test_unreadable_file_exits_two(self, tmp_path, capsys):
         assert main(["obs", "report", str(tmp_path / "absent.jsonl")]) == 2
         capsys.readouterr()
+
+
+class TestObsArchiveCli:
+    def _archive(self, telemetry_file, tmp_path, capsys) -> str:
+        assert main(["obs", "archive", str(telemetry_file),
+                     "--dir", str(tmp_path / "archive"),
+                     "--tag", "base"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("archived ")
+        return out.split()[1]
+
+    def test_archive_then_list_shows_the_run(self, capsys, tmp_path,
+                                             telemetry_file):
+        run_id = self._archive(telemetry_file, tmp_path, capsys)
+        assert main(["obs", "list", "--dir",
+                     str(tmp_path / "archive")]) == 0
+        out = capsys.readouterr().out
+        assert run_id in out
+        assert "base" in out
+
+    def test_list_json_carries_the_store_schema(self, capsys, tmp_path,
+                                                telemetry_file):
+        self._archive(telemetry_file, tmp_path, capsys)
+        assert main(["obs", "list", "--json", "--dir",
+                     str(tmp_path / "archive")]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert entries[0]["schema"] == "repro-obs-store/v1"
+
+    def test_empty_archive_lists_cleanly(self, capsys, tmp_path):
+        assert main(["obs", "list", "--dir",
+                     str(tmp_path / "archive")]) == 0
+        assert "no archived runs" in capsys.readouterr().out
+
+    def test_report_accepts_an_archived_run_id(self, capsys, tmp_path,
+                                               telemetry_file):
+        run_id = self._archive(telemetry_file, tmp_path, capsys)
+        assert main(["obs", "report", run_id[:8], "--dir",
+                     str(tmp_path / "archive")]) == 0
+        assert "Telemetry report" in capsys.readouterr().out
+
+    def test_gc_prunes_and_reports(self, capsys, tmp_path,
+                                   telemetry_file):
+        self._archive(telemetry_file, tmp_path, capsys)
+        assert main(["obs", "gc", "--keep", "1", "--dir",
+                     str(tmp_path / "archive")]) == 0
+        assert "0 run(s) removed" in capsys.readouterr().out
+
+    def test_archiving_garbage_exits_two(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["obs", "archive", str(bad), "--dir",
+                     str(tmp_path / "archive")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestObsExportCli:
+    def test_chrome_export_to_stdout(self, capsys, telemetry_file):
+        assert main(["obs", "export", str(telemetry_file),
+                     "--chrome"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "traceEvents" in payload
+
+    def test_csv_export_to_file(self, capsys, tmp_path, telemetry_file):
+        out = tmp_path / "beats.csv"
+        assert main(["obs", "export", str(telemetry_file), "--csv",
+                     "--out", str(out)]) == 0
+        assert "wrote csv export" in capsys.readouterr().out
+        assert out.read_text().startswith("session,seq,t_ms")
+
+    def test_exactly_one_format_is_required(self, capsys,
+                                            telemetry_file):
+        assert main(["obs", "export", str(telemetry_file)]) == 2
+        assert main(["obs", "export", str(telemetry_file), "--chrome",
+                     "--csv"]) == 2
+        assert "exactly one" in capsys.readouterr().err
 
 
 def _check_file(path) -> list:

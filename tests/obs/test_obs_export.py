@@ -1,0 +1,116 @@
+"""Trace export: Chrome trace-event JSON, collapsed stacks, CSV."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    MemorySink,
+    Telemetry,
+    heartbeat_csv,
+    render_chrome_trace,
+    to_chrome_trace,
+    to_folded,
+)
+
+
+def _instrumented_events() -> list:
+    """A real session with nested spans and heartbeat metrics."""
+    telemetry = Telemetry(MemorySink(), heartbeat_s=0.001)
+    with telemetry.span("execute", workers=2):
+        with telemetry.span("shard", shard=0):
+            telemetry.metrics.add("injections", 50)
+        with telemetry.span("shard", shard=1):
+            telemetry.metrics.add("injections", 50)
+        telemetry.metrics.set_gauge("queue_depth", 3.0)
+        telemetry.beat("campaign", 2, 2, force=True)
+    events = list(telemetry.sink.events)
+    telemetry.close()
+    return events
+
+
+class TestChromeTrace:
+    def test_b_and_e_events_balance_per_span(self):
+        trace = to_chrome_trace(_instrumented_events())
+        rows = trace["traceEvents"]
+        begins = [r for r in rows if r["ph"] == "B"]
+        ends = [r for r in rows if r["ph"] == "E"]
+        assert len(begins) == len(ends) == 3
+        assert sorted(r["name"] for r in begins) == [
+            "execute", "shard", "shard"]
+
+    def test_counter_events_come_from_heartbeats(self):
+        trace = to_chrome_trace(_instrumented_events())
+        counters = [r for r in trace["traceEvents"] if r["ph"] == "C"]
+        assert counters
+        assert counters[0]["args"] == {"injections": 100}
+
+    def test_process_metadata_names_the_session(self):
+        trace = to_chrome_trace(_instrumented_events())
+        meta = [r for r in trace["traceEvents"] if r["ph"] == "M"]
+        names = {(r["name"], r["pid"]) for r in meta}
+        assert ("process_name", 1) in names
+        assert ("thread_name", 1) in names
+
+    def test_worker_events_land_on_their_own_thread(self):
+        events = _instrumented_events()
+        # simulate a merged worker event (repro.obs.worker stamps these)
+        events.insert(-1, {
+            "type": "span_start", "seq": 98, "t_ms": 7.0,
+            "data": {"span": "shard-00001:1", "parent": 1, "name": "w",
+                     "worker": "shard-00001", "worker_seq": 1,
+                     "worker_t_ms": 0.5},
+        })
+        events.insert(-1, {
+            "type": "span_end", "seq": 99, "t_ms": 7.5,
+            "data": {"span": "shard-00001:1", "dur_ms": 0.5,
+                     "worker": "shard-00001", "worker_seq": 2,
+                     "worker_t_ms": 1.0},
+        })
+        trace = to_chrome_trace(events)
+        workers = [r for r in trace["traceEvents"]
+                   if r.get("ph") in "BE" and r["tid"] != 0]
+        assert len(workers) == 2
+        # worker-local time, microseconds
+        assert workers[0]["ts"] == 500
+
+    def test_render_is_stable_json(self):
+        events = _instrumented_events()
+        text = render_chrome_trace(events)
+        assert json.loads(text) == to_chrome_trace(events)
+        assert render_chrome_trace(events) == text  # deterministic
+
+
+class TestFolded:
+    def test_stack_lines_carry_self_time_in_microseconds(self):
+        lines = to_folded(_instrumented_events()).splitlines()
+        stacks = dict(line.rsplit(" ", 1) for line in lines)
+        assert set(stacks) == {"execute", "execute;shard"}
+        assert all(int(v) >= 0 for v in stacks.values())
+
+    def test_empty_stream_folds_to_nothing(self):
+        assert to_folded([]) == ""
+
+
+class TestHeartbeatCsv:
+    def test_one_row_per_heartbeat_with_metric_columns(self):
+        text = heartbeat_csv(_instrumented_events())
+        lines = text.splitlines()
+        header = lines[0].split(",")
+        assert header[:6] == ["session", "seq", "t_ms", "label", "done",
+                              "total"]
+        assert "counter.injections" in header
+        assert "gauge.queue_depth" in header
+        row = lines[1].split(",")
+        assert row[0] == "1"
+        assert row[3] == "campaign"
+        assert row[header.index("counter.injections")] == "100"
+
+    def test_no_heartbeats_yields_header_only(self):
+        telemetry = Telemetry(MemorySink())
+        with telemetry.span("x"):
+            pass
+        events = list(telemetry.sink.events)
+        telemetry.close()
+        lines = heartbeat_csv(events).splitlines()
+        assert lines == ["session,seq,t_ms,label,done,total"]

@@ -251,6 +251,16 @@ def main(argv: List[str] = None) -> int:
         f"bench-compare: {verdict} — {args.current.name}: "
         f"{len(failures)} failure(s), {len(warnings)} warning(s)"
     )
+    if failures:
+        # point the investigator at the span-level attribution tool:
+        # archived telemetry from both runs turns "the gate is red" into
+        # "this span path got slower"
+        print(
+            "hint: to attribute a timing regression, archive telemetry "
+            "from both builds ('repro obs archive') and run "
+            "'repro obs diff BASELINE CURRENT' — it aligns the span "
+            "trees and names the paths with significant self-time deltas"
+        )
     return 1 if failures else 0
 
 
